@@ -1,0 +1,55 @@
+// E3 (Theorem 3): smallest singleton cut in O(1/eps) AMPC rounds with
+// O((n+m) log^2 n) total memory — measured rounds, interval counts (the
+// memory blowup of Lemma 9), and exactness against the oracle.
+#include <cmath>
+
+#include "ampc_algo/singleton_ampc.h"
+#include "bench_util.h"
+#include "graph/generators.h"
+
+using namespace ampccut;
+using namespace ampccut::bench;
+
+int main(int argc, char** argv) {
+  const bool full = has_flag(argc, argv, "--full");
+  std::printf("E3 / Theorem 3 — AMPC singleton-cut tracker (random "
+              "connected graphs)\n\n");
+  TablePrinter t({"n", "m", "rounds(meas+cited)", "intervals",
+                  "(n+m)log2^2", "peak_words", "== oracle"});
+  struct Case {
+    VertexId n;
+    std::size_t m;
+  };
+  std::vector<Case> cases{{512, 2048}, {1024, 4096}, {2048, 8192},
+                          {4096, 16384}};
+  if (full) cases.push_back({8192, 32768});
+  for (const auto& c : cases) {
+    const WGraph g = gen_random_connected(c.n, c.m, 17 + c.n);
+    const ContractionOrder o = make_contraction_order(g, 3);
+
+    // Sequential interval stats give the Lemma 9 memory proxy.
+    IntervalTrackerStats stats;
+    const auto seq = min_singleton_cut_interval(g, o, &stats);
+
+    ampc::Runtime rt(ampc::Config::for_problem(c.n + c.m, 0.5));
+    const auto got = ampc::ampc_min_singleton_cut(rt, g, o);
+    const auto oracle = min_singleton_cut_oracle(g, o);
+
+    const double budget =
+        static_cast<double>(c.n + c.m) *
+        std::pow(std::log2(static_cast<double>(c.n)), 2);
+    t.add_row({fmt_u(c.n), fmt_u(c.m),
+               fmt_u(rt.metrics().rounds) + "+" +
+                   fmt_u(rt.metrics().charged_rounds),
+               fmt_u(stats.total_intervals), fmt(budget, 0),
+               fmt_u(rt.metrics().peak_table_words),
+               (got.weight == oracle.weight && seq.weight == oracle.weight)
+                   ? "yes"
+                   : "NO"});
+  }
+  t.print();
+  std::printf("\nShape check: rounds flat in n (Theorem 3's O(1/eps)); "
+              "intervals well under the (n+m) log^2 n budget; both trackers "
+              "equal the oracle exactly.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E11 — google-benchmark microbenches for the primitive layer: wall-clock
+// sanity of the simulator and the sequential engines (not a paper claim,
+// but what a downstream user of the library cares about first).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "ampc_algo/list_ranking.h"
+#include "ampc_algo/prefix_min.h"
+#include "exact/karger.h"
+#include "exact/stoer_wagner.h"
+#include "graph/generators.h"
+#include "mincut/singleton.h"
+#include "support/rng.h"
+#include "tree/hld.h"
+
+namespace ampccut {
+namespace {
+
+void BM_ListRank(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint64_t> next(n, ampc::kNoNext);
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(1);
+  std::shuffle(order.begin(), order.end(), rng);
+  for (std::uint64_t k = 0; k + 1 < n; ++k) next[order[k]] = order[k + 1];
+  const std::vector<std::int64_t> ones(n, 1);
+  for (auto _ : state) {
+    ampc::Runtime rt(ampc::Config::for_problem(n, 0.5));
+    benchmark::DoNotOptimize(ampc::list_rank(rt, next, ones));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ListRank)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SegmentedMinPrefix(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::int64_t> vals(n);
+  for (auto& v : vals) v = static_cast<std::int64_t>(rng.next_below(9)) - 4;
+  std::vector<std::uint64_t> offsets{0};
+  for (std::uint64_t i = 64; i < n; i += 64) offsets.push_back(i);
+  offsets.push_back(n);
+  for (auto _ : state) {
+    ampc::Runtime rt(ampc::Config::for_problem(n, 0.5));
+    benchmark::DoNotOptimize(ampc::segmented_min_prefix_sum(rt, vals, offsets));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SegmentedMinPrefix)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PathMaxQuery(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const WGraph g = gen_random_tree(n, 3);
+  std::vector<TimeStep> times(g.edges.size());
+  for (std::size_t i = 0; i < times.size(); ++i)
+    times[i] = static_cast<TimeStep>(i + 1);
+  const RootedTree rt = build_rooted_tree(n, g.edges, times, 0);
+  const HeavyLight hl = build_heavy_light(rt);
+  const PathMax pm(rt, hl);
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    benchmark::DoNotOptimize(pm.query(u, v));
+  }
+}
+BENCHMARK(BM_PathMaxQuery)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SingletonOracle(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const WGraph g = gen_random_connected(n, 4ull * n, 5);
+  const ContractionOrder o = make_contraction_order(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_singleton_cut_oracle(g, o));
+  }
+}
+BENCHMARK(BM_SingletonOracle)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SingletonInterval(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const WGraph g = gen_random_connected(n, 4ull * n, 5);
+  const ContractionOrder o = make_contraction_order(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_singleton_cut_interval(g, o));
+  }
+}
+BENCHMARK(BM_SingletonInterval)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_StoerWagner(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const WGraph g = gen_random_connected(n, 4ull * n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoer_wagner_min_cut(g));
+  }
+}
+BENCHMARK(BM_StoerWagner)->Arg(1 << 8)->Arg(1 << 10);
+
+void BM_KargerStein(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const WGraph g = gen_random_connected(n, 4ull * n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karger_stein(g, 1, 9));
+  }
+}
+BENCHMARK(BM_KargerStein)->Arg(1 << 8)->Arg(1 << 10);
+
+}  // namespace
+}  // namespace ampccut
+
+BENCHMARK_MAIN();

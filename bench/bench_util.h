@@ -1,0 +1,72 @@
+// Shared table-printing and CLI helpers for the experiment binaries.
+//
+// Every bench prints aligned columns (one table per experiment, mirroring
+// the claims indexed in DESIGN.md section 3) and accepts --full for the
+// larger sweeps recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ampccut::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(const std::vector<std::string>& cells) {
+    rows_.push_back(cells);
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+  }
+
+  void print() const {
+    print_row(headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i], '-');
+      if (i + 1 < headers_.size()) sep += "-+-";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::string c = cells[i];
+      c.resize(widths_[i], ' ');
+      line += c;
+      if (i + 1 < cells.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace ampccut::bench

@@ -1,0 +1,41 @@
+// Min k-Cut scenario (Section 5): partition a clustered workload graph into
+// k parts cutting minimal edge weight — APX-SPLIT greedy with approximate
+// splitters (Theorem 2) against the Gomory-Hu and exact-splitter baselines.
+#include <cstdio>
+
+#include "exact/brute_force.h"
+#include "flow/gomory_hu.h"
+#include "graph/generators.h"
+#include "mincut/kcut.h"
+
+int main() {
+  using namespace ampccut;
+
+  const std::uint32_t k = 4;
+  const WGraph g = gen_communities(/*n=*/240, k, /*p_in=*/0.2,
+                                   /*bridge_edges=*/3, /*seed=*/13);
+  std::printf("workload graph: n=%u m=%zu, %u planted clusters, 3 bridges "
+              "between neighbors\n", g.n, g.m(), k);
+
+  ApproxMinCutOptions mopt;
+  mopt.seed = 9;
+  mopt.trials = 2;
+  const auto ours = apx_split_k_cut_approx(g, k, mopt);
+  const auto sv = apx_split_k_cut_exact(g, k);  // Saran-Vazirani baseline
+  const auto gh = gomory_hu_k_cut(g, k);        // Observation 10 baseline
+
+  std::printf("APX-SPLIT (2+eps splitter): weight %llu in %u iterations\n",
+              static_cast<unsigned long long>(ours.weight), ours.iterations);
+  std::printf("Saran-Vazirani (exact)    : weight %llu\n",
+              static_cast<unsigned long long>(sv.weight));
+  std::printf("Gomory-Hu construction    : weight %llu\n",
+              static_cast<unsigned long long>(gh.weight));
+
+  std::printf("\ncluster recovery (partition sizes):");
+  std::vector<int> sizes(ours.num_parts, 0);
+  for (const auto p : ours.part) ++sizes[p];
+  for (const int s : sizes) std::printf(" %d", s);
+  std::printf("\nvalid partition: %s\n",
+              k_cut_weight(g, ours.part) == ours.weight ? "yes" : "no");
+  return 0;
+}

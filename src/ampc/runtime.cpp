@@ -1,0 +1,66 @@
+#include "ampc/runtime.h"
+
+namespace ampccut::ampc {
+
+thread_local MachineContext* MachineContext::current_ = nullptr;
+
+Runtime::Runtime(Config cfg) : cfg_(cfg), pool_(ThreadPool::shared()) {}
+
+void Runtime::round(const char* label, std::size_t num_machines,
+                    const std::function<void(MachineContext&)>& body) {
+  ++metrics_.rounds;
+  metrics_.rounds_by_label[label] += 1;
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> max_machine_traffic{0};
+  pool_.parallel_for(num_machines, [&](std::size_t machine) {
+    MachineContext ctx(*this, machine);
+    MachineContext::ScopedActivation scope(ctx);
+    body(ctx);
+    reads.fetch_add(ctx.reads(), std::memory_order_relaxed);
+    writes.fetch_add(ctx.writes(), std::memory_order_relaxed);
+    const std::uint64_t traffic = ctx.reads() + ctx.writes();
+    std::uint64_t seen = max_machine_traffic.load(std::memory_order_relaxed);
+    while (seen < traffic && !max_machine_traffic.compare_exchange_weak(
+                                 seen, traffic, std::memory_order_relaxed)) {
+    }
+    if (cfg_.enforce_local_memory && traffic > cfg_.machine_memory_words) {
+      metrics_.budget_violations.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  metrics_.dht_reads += reads.load();
+  metrics_.dht_writes += writes.load();
+  metrics_.max_machine_traffic =
+      std::max(metrics_.max_machine_traffic, max_machine_traffic.load());
+  // Commit all staged table writes at the round barrier (AMPC semantics:
+  // writes become visible in the next round's hash table).
+  commit_all();
+}
+
+void Runtime::charge_rounds(const char* label, std::uint64_t rounds) {
+  metrics_.charged_rounds += rounds;
+  metrics_.rounds_by_label[label] += 0;  // ensure the label appears
+  metrics_.charged_by_label[label] += rounds;
+}
+
+void Runtime::register_table(detail::TableBase* table) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  tables_.push_back(table);
+}
+
+void Runtime::unregister_table(detail::TableBase* table) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::erase(tables_, table);
+}
+
+void Runtime::commit_all() {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::uint64_t words = 0;
+  for (auto* t : tables_) {
+    t->commit();
+    words += t->size_words();
+  }
+  metrics_.peak_table_words = std::max(metrics_.peak_table_words, words);
+}
+
+}  // namespace ampccut::ampc

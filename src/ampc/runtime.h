@@ -1,0 +1,354 @@
+// The AMPC model simulator (Section 1.1; Behnezhad et al. [3]).
+//
+// Model recap: P machines with O(n^eps) local memory run synchronous rounds.
+// During a round every machine may *adaptively* read the distributed hash
+// table written by previous rounds (H_{i-1}); writes go to the next table
+// (H_i) and become visible only after the round barrier. We simulate this
+// with:
+//   * Runtime::round(label, machines, body) — executes `machines` virtual
+//     machines on a thread pool, counts one model round, and commits all
+//     staged table writes at the barrier;
+//   * Table<K,V> / DenseTable<V> — sharded hash table / dense array with
+//     frozen reads (only data committed in earlier rounds is visible) and
+//     per-machine staged writes;
+//   * MachineContext — tracks per-machine read/write word counts against the
+//     O(n^eps) budget (the model bounds a machine's DHT traffic per round by
+//     its local memory).
+//
+// Metrics separate *measured* rounds (what the simulator executed) from
+// *charged* rounds (published costs of cited primitives — see DESIGN.md
+// round-accounting policy; only the MSF primitive uses charging).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bits.h"
+#include "support/check.h"
+#include "support/threadpool.h"
+
+namespace ampccut::ampc {
+
+struct Config {
+  double eps = 0.5;                 // machine memory exponent
+  std::uint64_t problem_size = 0;   // N = n + m; machine memory = N^eps
+  std::uint64_t machine_memory_words = 0;  // derived if 0
+  bool enforce_local_memory = true;        // record violations (never throws)
+
+  static Config for_problem(std::uint64_t n_plus_m, double eps = 0.5) {
+    Config c;
+    c.eps = eps;
+    c.problem_size = n_plus_m;
+    c.machine_memory_words = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                std::pow(static_cast<double>(n_plus_m), eps)));
+    return c;
+  }
+
+  [[nodiscard]] std::uint64_t num_machines(std::uint64_t items) const {
+    return std::max<std::uint64_t>(
+        1, ceil_div(items, std::max<std::uint64_t>(1, machine_memory_words)));
+  }
+};
+
+struct Metrics {
+  std::uint64_t rounds = 0;          // measured (executed) rounds
+  std::uint64_t charged_rounds = 0;  // cited-cost rounds (MSF only)
+  std::uint64_t dht_reads = 0;       // words read from tables
+  std::uint64_t dht_writes = 0;      // words staged into tables
+  std::uint64_t max_machine_traffic = 0;  // per machine per round
+  std::uint64_t peak_table_words = 0;     // total-memory proxy
+  std::atomic<std::uint64_t> budget_violations{0};
+  std::map<std::string, std::uint64_t> rounds_by_label;
+  std::map<std::string, std::uint64_t> charged_by_label;
+
+  [[nodiscard]] std::uint64_t model_rounds() const {
+    return rounds + charged_rounds;
+  }
+};
+
+namespace detail {
+class TableBase {
+ public:
+  virtual ~TableBase() = default;
+  virtual void commit() = 0;
+  [[nodiscard]] virtual std::uint64_t size_words() const = 0;
+};
+}  // namespace detail
+
+class Runtime;
+
+// Per-virtual-machine context; installed thread-locally while the machine's
+// task runs so table reads can be accounted to the right machine.
+class MachineContext {
+ public:
+  MachineContext(Runtime& rt, std::size_t machine_id)
+      : runtime_(rt), machine_(machine_id) {}
+
+  [[nodiscard]] std::size_t machine_id() const { return machine_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+  void count_read(std::uint64_t words = 1) { reads_ += words; }
+  void count_write(std::uint64_t words = 1) { writes_ += words; }
+
+  static MachineContext* current() { return current_; }
+
+  struct ScopedActivation {
+    explicit ScopedActivation(MachineContext& ctx) { current_ = &ctx; }
+    ~ScopedActivation() { current_ = nullptr; }
+  };
+
+ private:
+  friend struct ScopedActivation;
+  Runtime& runtime_;
+  std::size_t machine_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  static thread_local MachineContext* current_;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+
+  // One synchronous AMPC round: `num_machines` virtual machines execute
+  // `body`, then all staged table writes commit.
+  void round(const char* label, std::size_t num_machines,
+             const std::function<void(MachineContext&)>& body);
+
+  // Round over a flat item domain: machines receive contiguous item chunks
+  // of at most machine_memory_words items.
+  template <class F>
+  void round_over_items(const char* label, std::uint64_t num_items, F&& body) {
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, cfg_.machine_memory_words);
+    const std::uint64_t machines = cfg_.num_machines(num_items);
+    round(label, machines, [&](MachineContext& ctx) {
+      const std::uint64_t begin = ctx.machine_id() * per;
+      const std::uint64_t end = std::min(num_items, begin + per);
+      for (std::uint64_t i = begin; i < end; ++i) body(ctx, i);
+    });
+  }
+
+  // Account the published round cost of a cited primitive (see DESIGN.md).
+  void charge_rounds(const char* label, std::uint64_t rounds);
+
+  void register_table(detail::TableBase* table);
+  void unregister_table(detail::TableBase* table);
+
+ private:
+  void commit_all();
+
+  Config cfg_;
+  Metrics metrics_;
+  ThreadPool& pool_;
+  std::mutex tables_mu_;
+  std::vector<detail::TableBase*> tables_;
+};
+
+// Merge policies for writes committed under the same key in one round.
+enum class Merge { kOverwrite, kMin, kMax, kSum };
+
+template <class V>
+void apply_merge(V& dst, const V& src, Merge policy) {
+  if (policy == Merge::kOverwrite) {
+    dst = src;
+    return;
+  }
+  if constexpr (requires(V a, V b) { a < b; a += b; }) {
+    switch (policy) {
+      case Merge::kOverwrite: dst = src; break;
+      case Merge::kMin: dst = std::min(dst, src); break;
+      case Merge::kMax: dst = std::max(dst, src); break;
+      case Merge::kSum: dst += src; break;
+    }
+  } else {
+    REPRO_CHECK_MSG(false, "merge policy needs an ordered/summable value type");
+  }
+}
+
+// Sharded hash table with AMPC visibility semantics. Reads see only data
+// committed at a previous round barrier; put() stages writes shard-locally.
+template <class K, class V, class Hash = std::hash<K>>
+class Table final : public detail::TableBase {
+ public:
+  Table(Runtime& rt, std::string name, Merge policy = Merge::kOverwrite,
+        std::size_t shards = 64)
+      : rt_(rt), name_(std::move(name)), policy_(policy), shards_(shards) {
+    rt_.register_table(this);
+  }
+  ~Table() override { rt_.unregister_table(this); }
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Adaptive read during a round (counts against the machine budget).
+  std::optional<V> get(const K& key) const {
+    if (auto* ctx = MachineContext::current()) ctx->count_read(words_per_kv());
+    const Shard& s = shard(key);
+    const auto it = s.data.find(key);
+    if (it == s.data.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    return get(key).has_value();
+  }
+
+  V at(const K& key) const {
+    auto v = get(key);
+    REPRO_CHECK_MSG(v.has_value(), "missing key in table " + name_);
+    return *v;
+  }
+
+  // Staged write; visible after the enclosing round's barrier.
+  void put(const K& key, V value) {
+    if (auto* ctx = MachineContext::current())
+      ctx->count_write(words_per_kv());
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.staged.emplace_back(key, std::move(value));
+  }
+
+  // Immediate insert for round-0 input distribution (counts no traffic).
+  void seed(const K& key, V value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [it, fresh] = s.data.emplace(key, std::move(value));
+    if (!fresh) apply_merge(it->second, value, policy_);
+  }
+
+  void commit() override {
+    for (auto& s : shards_vec_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto& [k, v] : s.staged) {
+        auto [it, fresh] = s.data.emplace(k, v);
+        if (!fresh) apply_merge(it->second, v, policy_);
+      }
+      s.staged.clear();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size_words() const override {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_vec_) n += s.data.size();
+    return n * words_per_kv();
+  }
+
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_vec_) n += s.data.size();
+    return n;
+  }
+
+  // Snapshot of committed contents (driver-side, between rounds).
+  std::vector<std::pair<K, V>> snapshot() const {
+    std::vector<std::pair<K, V>> out;
+    for (const auto& s : shards_vec_) {
+      out.insert(out.end(), s.data.begin(), s.data.end());
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> data;
+    std::vector<std::pair<K, V>> staged;
+  };
+
+  static constexpr std::uint64_t words_per_kv() {
+    return (sizeof(K) + sizeof(V) + 7) / 8;
+  }
+
+  Shard& shard(const K& key) {
+    return shards_vec_[Hash{}(key) % shards_vec_.size()];
+  }
+  const Shard& shard(const K& key) const {
+    return shards_vec_[Hash{}(key) % shards_vec_.size()];
+  }
+
+  Runtime& rt_;
+  std::string name_;
+  Merge policy_;
+  std::size_t shards_;
+  std::vector<Shard> shards_vec_{shards_};
+};
+
+// Dense uint64-indexed table (a hash table whose keys are 0..size-1): same
+// visibility semantics, array-backed for the index-structured data (tree
+// arrays, sparse tables) that dominates the algorithms. Reads of
+// uncommitted-this-round writes are prevented by staging into a side buffer.
+template <class V>
+class DenseTable final : public detail::TableBase {
+ public:
+  DenseTable(Runtime& rt, std::string name, std::size_t size, V init = V{},
+             Merge policy = Merge::kOverwrite)
+      : rt_(rt), name_(std::move(name)), policy_(policy),
+        data_(size, init) {
+    rt_.register_table(this);
+  }
+  ~DenseTable() override { rt_.unregister_table(this); }
+
+  DenseTable(const DenseTable&) = delete;
+  DenseTable& operator=(const DenseTable&) = delete;
+
+  V get(std::uint64_t i) const {
+    REPRO_DCHECK(i < data_.size());
+    if (auto* ctx = MachineContext::current()) ctx->count_read(words_per_v());
+    return data_[i];
+  }
+
+  void put(std::uint64_t i, V value) {
+    REPRO_DCHECK(i < data_.size());
+    if (auto* ctx = MachineContext::current()) ctx->count_write(words_per_v());
+    std::lock_guard<std::mutex> lock(mu_);
+    staged_.emplace_back(i, std::move(value));
+  }
+
+  // Round-0 seeding / driver-side access (no traffic accounting).
+  void seed(std::uint64_t i, V value) { data_[i] = std::move(value); }
+  const V& raw(std::uint64_t i) const { return data_[i]; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  void commit() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [i, v] : staged_) {
+      apply_merge(data_[i], v, policy_ == Merge::kOverwrite
+                                   ? Merge::kOverwrite
+                                   : policy_);
+    }
+    staged_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t size_words() const override {
+    return data_.size() * words_per_v();
+  }
+
+ private:
+  static constexpr std::uint64_t words_per_v() {
+    return (sizeof(V) + 7) / 8;
+  }
+
+  Runtime& rt_;
+  std::string name_;
+  Merge policy_;
+  std::vector<V> data_;
+  std::mutex mu_;
+  std::vector<std::pair<std::uint64_t, V>> staged_;
+};
+
+}  // namespace ampccut::ampc

@@ -1,0 +1,49 @@
+#include "ampc_algo/kcut_ampc.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ampccut::ampc {
+
+AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
+                                    const AmpcMinCutOptions& opt) {
+  AmpcKCutReport report;
+  // Per-iteration round maxima: the greedy loop calls the splitter once per
+  // component per iteration; components are model-parallel. Iterations are
+  // delimited by watching the iteration counter grow.
+  std::uint64_t iter_measured = 0;
+  std::uint64_t iter_charged = 0;
+  std::uint64_t salt = 0;
+  std::uint32_t calls_this_iter = 0;
+
+  auto flush_iteration = [&]() {
+    report.measured_rounds += iter_measured;
+    report.charged_rounds += iter_charged + 1;  // +1: component count [4]
+    iter_measured = 0;
+    iter_charged = 0;
+    calls_this_iter = 0;
+  };
+
+  // apx_split_k_cut solves all components, picks the cheapest cut, then
+  // recomputes components — one pass per greedy iteration; on_iteration
+  // fires at each pass boundary and flushes the parallel round-group.
+  const ApproxKCutResult r = apx_split_k_cut(
+      g, k,
+      [&](const WGraph& component) {
+        AmpcMinCutOptions o = opt;
+        o.recursion.seed = splitmix64(opt.recursion.seed ^ ++salt);
+        const AmpcMinCutReport sub = ampc_approx_min_cut(component, o);
+        iter_measured = std::max(iter_measured, sub.measured_rounds);
+        iter_charged = std::max(iter_charged, sub.charged_rounds);
+        ++calls_this_iter;
+        return MinCutResult{sub.weight, sub.side};
+      },
+      [&](std::uint32_t) { flush_iteration(); });
+  if (calls_this_iter > 0) flush_iteration();
+  report.result = r;
+  return report;
+}
+
+}  // namespace ampccut::ampc

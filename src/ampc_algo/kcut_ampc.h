@@ -1,0 +1,30 @@
+// APX-SPLIT in AMPC (Algorithm 4 / Theorem 2): O(k log log n) rounds.
+//
+// Each greedy iteration recomputes a (2+eps)-approximate min cut inside every
+// current component — in the model these run in parallel, so an iteration
+// costs the MAXIMUM model rounds over its components plus O(1) rounds for
+// counting components (cited from Behnezhad et al. [4], as the paper does in
+// the proof of Theorem 2).
+#pragma once
+
+#include <cstdint>
+
+#include "ampc_algo/mincut_ampc.h"
+#include "mincut/kcut.h"
+
+namespace ampccut::ampc {
+
+struct AmpcKCutReport {
+  ApproxKCutResult result;
+  std::uint64_t measured_rounds = 0;
+  std::uint64_t charged_rounds = 0;
+
+  [[nodiscard]] std::uint64_t model_rounds() const {
+    return measured_rounds + charged_rounds;
+  }
+};
+
+AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
+                                    const AmpcMinCutOptions& opt = {});
+
+}  // namespace ampccut::ampc

@@ -1,0 +1,38 @@
+// LowDepthDecomp (Algorithm 2) on the AMPC runtime, in O(1/eps) measured
+// rounds on top of the Euler-tour toolkit:
+//   1. root + orient (Lemma 4)                 — ampc_root_tree;
+//   2. heavy children / heavy paths (Def. 2-4) — one kMax-merge reduction
+//      round plus three chain list-rankings (position, length, head id);
+//   3. binarized paths (Def. 5)                — implicit: pure heap index
+//      arithmetic from (position, length), never materialized;
+//   4. labels (Sec. 3.4)                       — one adaptive-walk round up
+//      the meta tree for base depths (O(log n) reads per head), then one
+//      local-arithmetic round for every vertex's label.
+//
+// Tie-breaking matches the sequential implementation exactly (larger
+// subtree, then smaller vertex id), so tests can assert label-for-label
+// equality with tree/low_depth.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ampc/runtime.h"
+#include "ampc_algo/tree_ops.h"
+
+namespace ampccut::ampc {
+
+struct AmpcDecomposition {
+  std::vector<std::uint32_t> label;      // the decomposition labeling
+  std::uint32_t height = 0;
+  std::vector<VertexId> head;            // head of v's heavy path
+  std::vector<std::uint32_t> pos;        // position within the path (head=0)
+  std::vector<std::uint32_t> len;        // length of v's heavy path
+  std::vector<std::uint32_t> base_depth; // expanded depth of v's path's root
+  std::vector<std::uint32_t> leaf_depth; // expanded depth of v's own leaf
+};
+
+AmpcDecomposition ampc_low_depth_decomposition(Runtime& rt,
+                                               const AmpcRootedTree& tree);
+
+}  // namespace ampccut::ampc

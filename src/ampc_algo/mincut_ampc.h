@@ -1,0 +1,50 @@
+// AMPC-MinCut (Algorithm 1 / Theorem 1): the boosted recursion skeleton with
+// the AMPC singleton tracker, plus model round accounting.
+//
+// Accounting model: all instances of a recursion level run in parallel, so
+// the level's round cost is the MAXIMUM over its tracker runs; the total is
+// the sum over levels plus O(1) per level for the copy/contract step and one
+// round for the leaf-level local solves (an instance at or below the local
+// threshold fits in one machine's O(n^eps) memory — Algorithm 1 line 1).
+// Measured rounds (executed on the simulator) and charged rounds (cited
+// primitives: MSF, sorts, RMQ build — see DESIGN.md) are reported separately.
+#pragma once
+
+#include <cstdint>
+
+#include "ampc/runtime.h"
+#include "graph/graph.h"
+#include "mincut/mincut_recursive.h"
+
+namespace ampccut::ampc {
+
+struct AmpcMinCutOptions {
+  ApproxMinCutOptions recursion;  // schedule (eps, trials, threshold, seed)
+  double model_eps = 0.5;         // machine memory exponent N^eps
+  bool use_boruvka_msf = false;   // measured MSF instead of cited (E10)
+};
+
+struct AmpcMinCutReport {
+  Weight weight = kInfiniteWeight;
+  std::vector<std::uint8_t> side;
+  RecursionStats stats;
+
+  // Model-level costs (see header comment).
+  std::uint64_t measured_rounds = 0;
+  std::uint64_t charged_rounds = 0;
+  std::uint32_t levels_used = 0;   // recursion levels with tracker activity
+  std::uint64_t dht_reads = 0;
+  std::uint64_t dht_writes = 0;
+  std::uint64_t max_machine_traffic = 0;
+  std::uint64_t peak_table_words = 0;
+  std::uint64_t budget_violations = 0;
+
+  [[nodiscard]] std::uint64_t model_rounds() const {
+    return measured_rounds + charged_rounds;
+  }
+};
+
+AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
+                                     const AmpcMinCutOptions& opt = {});
+
+}  // namespace ampccut::ampc

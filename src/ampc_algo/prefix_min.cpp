@@ -1,0 +1,209 @@
+#include "ampc_algo/prefix_min.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace ampccut::ampc {
+
+namespace {
+
+struct Summary {
+  std::int64_t sum = 0;
+  std::int64_t min_prefix = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t argmin = 0;  // absolute index into the original sequence
+};
+
+// Combine left-to-right: the right block's prefixes are offset by the left
+// block's total sum. Ties keep the leftmost witness.
+Summary combine(const Summary& l, const Summary& r) {
+  Summary out;
+  out.sum = l.sum + r.sum;
+  out.min_prefix = l.min_prefix;
+  out.argmin = l.argmin;
+  if (r.min_prefix != std::numeric_limits<std::int64_t>::max()) {
+    const std::int64_t shifted = l.sum + r.min_prefix;
+    if (shifted < out.min_prefix) {
+      out.min_prefix = shifted;
+      out.argmin = r.argmin;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> prefix_sums(Runtime& rt,
+                                      const std::vector<std::int64_t>& values) {
+  const std::uint64_t n = values.size();
+  if (n == 0) return {};
+  const std::uint64_t B = std::max<std::uint64_t>(2, rt.config().machine_memory_words);
+
+  // Up-sweep: tier t holds block sums of tier t-1 (blocks of size B).
+  std::vector<std::vector<std::int64_t>> tiers{values};
+  while (tiers.back().size() > 1) {
+    const auto& cur = tiers.back();
+    const std::uint64_t blocks = ceil_div(cur.size(), B);
+    DenseTable<std::int64_t> t_in(rt, "psum.in", cur.size());
+    DenseTable<std::int64_t> t_out(rt, "psum.out", blocks, 0);
+    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in.seed(i, cur[i]);
+    rt.round("prefix_sums.up", blocks, [&](MachineContext& ctx) {
+      const std::uint64_t b = ctx.machine_id();
+      const std::uint64_t lo = b * B, hi = std::min<std::uint64_t>(cur.size(), lo + B);
+      std::int64_t s = 0;
+      for (std::uint64_t i = lo; i < hi; ++i) s += t_in.get(i);
+      t_out.put(b, s);
+    });
+    std::vector<std::int64_t> nxt(blocks);
+    for (std::uint64_t b = 0; b < blocks; ++b) nxt[b] = t_out.raw(b);
+    tiers.push_back(std::move(nxt));
+    if (blocks == 1) break;
+  }
+
+  // Down-sweep: carry the exclusive prefix of each block downward.
+  std::vector<std::int64_t> carry{0};  // exclusive prefix per top-tier block
+  for (std::size_t t = tiers.size(); t-- > 0;) {
+    const auto& cur = tiers[t];
+    DenseTable<std::int64_t> t_in(rt, "psum.d.in", cur.size());
+    DenseTable<std::int64_t> t_carry(rt, "psum.d.carry", carry.size());
+    DenseTable<std::int64_t> t_out(rt, "psum.d.out", cur.size(), 0);
+    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in.seed(i, cur[i]);
+    for (std::uint64_t i = 0; i < carry.size(); ++i) t_carry.seed(i, carry[i]);
+    const std::uint64_t blocks = ceil_div(cur.size(), B);
+    rt.round("prefix_sums.down", blocks, [&](MachineContext& ctx) {
+      const std::uint64_t b = ctx.machine_id();
+      const std::uint64_t lo = b * B, hi = std::min<std::uint64_t>(cur.size(), lo + B);
+      std::int64_t acc = t_carry.get(b);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        acc += t_in.get(i);
+        t_out.put(i, acc);  // inclusive prefix
+      }
+    });
+    if (t == 0) {
+      std::vector<std::int64_t> out(cur.size());
+      for (std::uint64_t i = 0; i < cur.size(); ++i) out[i] = t_out.raw(i);
+      return out;
+    }
+    // Exclusive prefixes for the tier below = inclusive prefix minus own sum.
+    std::vector<std::int64_t> next_carry(cur.size());
+    for (std::uint64_t i = 0; i < cur.size(); ++i) {
+      next_carry[i] = t_out.raw(i) - cur[i];
+    }
+    carry = std::move(next_carry);
+  }
+  return {};
+}
+
+std::vector<MinPrefixResult> segmented_min_prefix_sum(
+    Runtime& rt, const std::vector<std::int64_t>& values,
+    const std::vector<std::uint64_t>& offsets) {
+  REPRO_CHECK(!offsets.empty());
+  REPRO_CHECK(offsets.back() == values.size());
+  const std::uint64_t num_segs = offsets.size() - 1;
+  const std::uint64_t B = std::max<std::uint64_t>(2, rt.config().machine_memory_words);
+
+  // Unit = (segment, block range). Tier 0 units cover raw values; each later
+  // tier combines up to B summaries of the same segment. Units of all
+  // segments at a tier execute in the same round.
+  struct Unit {
+    std::uint64_t seg;
+    std::uint64_t lo, hi;  // range in the previous tier's array
+  };
+
+  // Tier 0: summaries of value blocks.
+  std::vector<Summary> cur;    // per-unit summaries after each tier
+  std::vector<std::uint64_t> cur_seg;
+  {
+    std::vector<Unit> units;
+    for (std::uint64_t s = 0; s < num_segs; ++s) {
+      for (std::uint64_t lo = offsets[s]; lo < offsets[s + 1]; lo += B) {
+        units.push_back({s, lo, std::min(offsets[s + 1], lo + B)});
+      }
+      if (offsets[s] == offsets[s + 1]) {
+        units.push_back({s, offsets[s], offsets[s]});  // empty segment marker
+      }
+    }
+    DenseTable<std::int64_t> t_vals(rt, "smp.vals", values.size());
+    for (std::uint64_t i = 0; i < values.size(); ++i) t_vals.seed(i, values[i]);
+    DenseTable<Summary> t_out(rt, "smp.t0", units.size());
+    rt.round("segmented_min_prefix.leaf", units.size(), [&](MachineContext& ctx) {
+      const Unit& u = units[ctx.machine_id()];
+      Summary s;
+      std::int64_t acc = 0;
+      for (std::uint64_t i = u.lo; i < u.hi; ++i) {
+        acc += t_vals.get(i);
+        if (acc < s.min_prefix) {
+          s.min_prefix = acc;
+          s.argmin = i - offsets[u.seg];
+        }
+      }
+      s.sum = acc;
+      t_out.put(ctx.machine_id(), s);
+    });
+    cur.resize(units.size());
+    cur_seg.resize(units.size());
+    for (std::uint64_t i = 0; i < units.size(); ++i) {
+      cur[i] = t_out.raw(i);
+      cur_seg[i] = units[i].seg;
+    }
+  }
+
+  // Combine tiers until one summary per segment remains.
+  while (cur.size() > num_segs) {
+    // Group consecutive units of the same segment into runs; chunk runs by B.
+    std::vector<Unit> units;
+    std::uint64_t i = 0;
+    while (i < cur.size()) {
+      std::uint64_t j = i;
+      while (j < cur.size() && cur_seg[j] == cur_seg[i]) ++j;
+      for (std::uint64_t lo = i; lo < j; lo += B) {
+        units.push_back({cur_seg[i], lo, std::min(j, lo + B)});
+      }
+      i = j;
+    }
+    DenseTable<Summary> t_in(rt, "smp.in", cur.size());
+    for (std::uint64_t k = 0; k < cur.size(); ++k) t_in.seed(k, cur[k]);
+    DenseTable<Summary> t_out(rt, "smp.out", units.size());
+    rt.round("segmented_min_prefix.combine", units.size(),
+             [&](MachineContext& ctx) {
+               const Unit& u = units[ctx.machine_id()];
+               Summary acc;  // empty-identity
+               acc.min_prefix = std::numeric_limits<std::int64_t>::max();
+               bool first = true;
+               for (std::uint64_t k = u.lo; k < u.hi; ++k) {
+                 const Summary s = t_in.get(k);
+                 acc = first ? s : combine(acc, s);
+                 first = false;
+               }
+               t_out.put(ctx.machine_id(), acc);
+             });
+    std::vector<Summary> nxt(units.size());
+    std::vector<std::uint64_t> nxt_seg(units.size());
+    for (std::uint64_t k = 0; k < units.size(); ++k) {
+      nxt[k] = t_out.raw(k);
+      nxt_seg[k] = units[k].seg;
+    }
+    if (nxt.size() == cur.size()) break;  // nothing left to combine
+    cur = std::move(nxt);
+    cur_seg = std::move(nxt_seg);
+  }
+
+  std::vector<MinPrefixResult> out(num_segs,
+                                   {std::numeric_limits<std::int64_t>::max(), 0});
+  for (std::uint64_t k = 0; k < cur.size(); ++k) {
+    out[cur_seg[k]] = {cur[k].min_prefix, cur[k].argmin};
+  }
+  return out;
+}
+
+MinPrefixResult min_prefix_sum(Runtime& rt,
+                               const std::vector<std::int64_t>& values) {
+  REPRO_CHECK(!values.empty());
+  const auto r = segmented_min_prefix_sum(
+      rt, values, {0, static_cast<std::uint64_t>(values.size())});
+  return r[0];
+}
+
+}  // namespace ampccut::ampc

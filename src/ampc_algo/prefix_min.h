@@ -1,0 +1,38 @@
+// Prefix sums and minimum prefix sums in O(1/eps) AMPC rounds (Theorem 5,
+// Behnezhad et al. [2]), including the segmented variant Lemma 14 needs:
+// many independent sequences (one per bag leader) swept in the same rounds.
+//
+// Structure: a B-ary reduction tree with B = machine memory. Each tier is one
+// round; tiers = ceil(log_B N) = O(1/eps). Summaries carry (sum, min-prefix,
+// argmin) so the final answer locates the witness timestamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ampc/runtime.h"
+
+namespace ampccut::ampc {
+
+// Inclusive prefix sums of a single sequence.
+std::vector<std::int64_t> prefix_sums(Runtime& rt,
+                                      const std::vector<std::int64_t>& values);
+
+struct MinPrefixResult {
+  std::int64_t min_prefix = 0;  // min over non-empty prefixes
+  std::uint64_t argmin = 0;     // index attaining it (first one)
+};
+
+// Minimum over all non-empty prefix sums of one sequence. Requires size >= 1.
+MinPrefixResult min_prefix_sum(Runtime& rt,
+                               const std::vector<std::int64_t>& values);
+
+// Segmented variant: `values` is the concatenation of independent sequences;
+// segment s spans [offsets[s], offsets[s+1]). Returns one MinPrefixResult per
+// segment (argmin is relative to the segment start). Empty segments yield
+// {INT64_MAX, 0}. All segments are processed in the same O(1/eps) rounds.
+std::vector<MinPrefixResult> segmented_min_prefix_sum(
+    Runtime& rt, const std::vector<std::int64_t>& values,
+    const std::vector<std::uint64_t>& offsets);
+
+}  // namespace ampccut::ampc

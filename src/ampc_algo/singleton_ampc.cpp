@@ -1,0 +1,419 @@
+#include "ampc_algo/singleton_ampc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "ampc_algo/list_ranking.h"
+#include "ampc_algo/low_depth_ampc.h"
+#include "ampc_algo/msf.h"
+#include "ampc_algo/prefix_min.h"
+#include "ampc_algo/tree_ops.h"
+#include "support/check.h"
+#include "tree/binarized_path.h"
+
+namespace ampccut::ampc {
+
+namespace {
+
+namespace bp = binpath;
+
+// Path-max over MST contraction times: HLD + sparse tables stored in dense
+// DHT tables (build cost charged per Theorem 4 [5]; queries are measured
+// adaptive reads, O(log n) of them per query).
+class AmpcPathMax {
+ public:
+  AmpcPathMax(Runtime& rt, const AmpcRootedTree& tree,
+              const AmpcDecomposition& d)
+      : n_(tree.n) {
+    rt.charge_rounds("hld_rmq.build[cited Thm 4]",
+                     static_cast<std::uint64_t>(
+                         std::ceil(1.0 / std::max(0.1, rt.config().eps))));
+    // Global positions: paths laid out contiguously, head first.
+    std::vector<std::uint32_t> gpos(n_);
+    {
+      std::vector<std::uint32_t> offset_of_head(n_, 0);
+      std::uint32_t off = 0;
+      for (VertexId v = 0; v < n_; ++v) {
+        if (d.head[v] == v) {
+          offset_of_head[v] = off;
+          off += d.len[v];
+        }
+      }
+      for (VertexId v = 0; v < n_; ++v) {
+        gpos[v] = offset_of_head[d.head[v]] + d.pos[v];
+      }
+    }
+    std::vector<TimeStep> base(n_, 0);
+    for (VertexId v = 0; v < n_; ++v) base[gpos[v]] = tree.parent_time[v];
+
+    t_head_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.head", n_);
+    t_parent_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.par", n_);
+    t_depth_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.dep", n_);
+    t_ptime_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.pt", n_);
+    t_gpos_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.gpos", n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      t_head_->seed(v, d.head[v]);
+      t_parent_->seed(v, tree.parent[v] == kInvalidVertex
+                             ? kNoNext
+                             : tree.parent[v]);
+      t_depth_->seed(v, tree.depth[v]);
+      t_ptime_->seed(v, tree.parent_time[v]);
+      t_gpos_->seed(v, gpos[v]);
+    }
+    const std::uint32_t levels = n_ >= 2 ? floor_log2(n_) + 1 : 1;
+    sparse_.reserve(levels);
+    std::vector<TimeStep> cur = base;
+    for (std::uint32_t k = 0; k < levels; ++k) {
+      const std::uint32_t span = 1u << k;
+      if (span > n_) break;
+      if (k > 0) {
+        std::vector<TimeStep> nxt(n_ - span + 1);
+        for (std::uint32_t i = 0; i + span <= n_; ++i) {
+          nxt[i] = std::max(cur[i], cur[i + span / 2]);
+        }
+        cur = std::move(nxt);
+      }
+      auto t = std::make_unique<DenseTable<std::uint64_t>>(
+          rt, "pm.sparse", cur.size());
+      for (std::uint32_t i = 0; i < cur.size(); ++i) t->seed(i, cur[i]);
+      sparse_.push_back(std::move(t));
+    }
+  }
+
+  TimeStep query(VertexId u, VertexId v) const {
+    if (u == v) return 0;
+    TimeStep best = 0;
+    std::uint64_t hu = t_head_->get(u);
+    std::uint64_t hv = t_head_->get(v);
+    while (hu != hv) {
+      // Climb the side whose head is deeper.
+      if (t_depth_->get(hu) < t_depth_->get(hv)) {
+        std::swap(u, v);
+        std::swap(hu, hv);
+      }
+      best = std::max(best, range_max(t_gpos_->get(hu), t_gpos_->get(u)));
+      best = std::max(best, static_cast<TimeStep>(t_ptime_->get(hu)));
+      u = static_cast<VertexId>(t_parent_->get(hu));
+      hu = t_head_->get(u);
+    }
+    if (u != v) {
+      const bool u_higher = t_depth_->get(u) < t_depth_->get(v);
+      const VertexId hi = u_higher ? u : v;
+      const VertexId lo = u_higher ? v : u;
+      best = std::max(best,
+                      range_max(t_gpos_->get(hi) + 1, t_gpos_->get(lo)));
+    }
+    return best;
+  }
+
+ private:
+  TimeStep range_max(std::uint64_t lo, std::uint64_t hi) const {
+    REPRO_DCHECK(lo <= hi);
+    const auto len = static_cast<std::uint32_t>(hi - lo + 1);
+    const std::uint32_t k = floor_log2(len);
+    return static_cast<TimeStep>(
+        std::max(sparse_[k]->get(lo), sparse_[k]->get(hi + 1 - (1ull << k))));
+  }
+
+  VertexId n_;
+  std::unique_ptr<DenseTable<std::uint64_t>> t_head_, t_parent_, t_depth_,
+      t_ptime_, t_gpos_;
+  std::vector<std::unique_ptr<DenseTable<std::uint64_t>>> sparse_;
+};
+
+// Outcome of the arithmetic component walk for (x, level): the component's
+// top path, its interval, and the unique label-`level` leader if one exists.
+struct ClimbResult {
+  VertexId leader = kInvalidVertex;
+  VertexId top = kInvalidVertex;        // some vertex on the top path
+  std::uint64_t a = bp::kNoPosition;    // nearest smaller position left
+  std::uint64_t b = bp::kNoPosition;    // nearest smaller position right
+  VertexId attach = kInvalidVertex;     // low-label attach above (a==none)
+};
+
+}  // namespace
+
+SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
+                                          const ContractionOrder& order,
+                                          const AmpcSingletonOptions& opt) {
+  REPRO_CHECK(g.n >= 2);
+  REPRO_CHECK(order.time.size() == g.edges.size());
+  const VertexId n = g.n;
+
+  // 1. MSF (the only edges whose contraction changes topology).
+  const std::vector<EdgeId> msf = opt.use_boruvka_msf
+                                      ? ampc_msf_boruvka(rt, g, order)
+                                      : ampc_msf_cited(rt, g, order);
+  REPRO_CHECK_MSG(msf.size() + 1 == n,
+                  "AMPC tracker requires a connected graph");
+  std::vector<WEdge> tree_edges;
+  std::vector<TimeStep> tree_times;
+  TimeStep t_full = 0;
+  for (const EdgeId e : msf) {
+    tree_edges.push_back(g.edges[e]);
+    tree_times.push_back(order.time[e]);
+    t_full = std::max(t_full, order.time[e]);
+  }
+
+  // 2. Root + decompose.
+  const AmpcRootedTree tree = ampc_root_tree(rt, n, tree_edges, tree_times, 0);
+  const AmpcDecomposition d = ampc_low_depth_decomposition(rt, tree);
+  const std::uint32_t h = d.height;
+
+  // 3. Path-max structure.
+  const AmpcPathMax pm(rt, tree, d);
+
+  // Geometry tables for the walks.
+  DenseTable<std::uint64_t> t_label(rt, "sc.label", n);
+  DenseTable<std::uint64_t> t_head(rt, "sc.head", n);
+  DenseTable<std::uint64_t> t_pos(rt, "sc.pos", n);
+  DenseTable<std::uint64_t> t_len(rt, "sc.len", n);
+  DenseTable<std::uint64_t> t_base(rt, "sc.base", n);
+  DenseTable<std::uint64_t> t_parent(rt, "sc.parent", n);
+  // Vertex at a global (path, position) slot — heads own contiguous ranges.
+  DenseTable<std::uint64_t> t_vertex_at(rt, "sc.vat", n);
+  DenseTable<std::uint64_t> t_path_off(rt, "sc.poff", n, 0);
+  {
+    std::uint64_t off = 0;
+    std::vector<std::uint64_t> offset_of_head(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (d.head[v] == v) {
+        offset_of_head[v] = off;
+        t_path_off.seed(v, off);
+        off += d.len[v];
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      t_label.seed(v, d.label[v]);
+      t_head.seed(v, d.head[v]);
+      t_pos.seed(v, d.pos[v]);
+      t_len.seed(v, d.len[v]);
+      t_base.seed(v, d.base_depth[v]);
+      t_parent.seed(v, tree.parent[v] == kInvalidVertex ? kNoNext
+                                                        : tree.parent[v]);
+      t_vertex_at.seed(offset_of_head[d.head[v]] + d.pos[v], v);
+    }
+  }
+
+  // The arithmetic component walk (proof of Lemma 10): from x at level i,
+  // hop path-by-path toward the component's top path. Labels on a path are
+  // base_depth + binlabel - 1, so "global label < i" is a pure binarized-
+  // path query with bound i - base_depth + 1.
+  auto climb = [&](VertexId x, std::uint32_t i) {
+    ClimbResult r;
+    VertexId cur = x;
+    for (;;) {
+      const std::uint64_t hd = t_head.get(cur);
+      const std::uint64_t L = t_len.get(cur);
+      const std::uint64_t j = t_pos.get(cur);
+      const std::uint64_t base = t_base.get(cur);
+      std::uint64_t a = bp::kNoPosition, b = bp::kNoPosition;
+      if (i > base) {
+        const auto bound = static_cast<std::uint32_t>(i - base + 1);
+        a = bp::nearest_smaller_left(L, j, bound);
+        b = bp::nearest_smaller_right(L, j, bound);
+      }
+      if (a == bp::kNoPosition) {
+        const std::uint64_t attach = t_parent.get(hd);
+        if (attach != kNoNext &&
+            t_label.get(attach) >= i) {  // component extends upward
+          cur = static_cast<VertexId>(attach);
+          continue;
+        }
+        r.attach = attach == kNoNext ? kInvalidVertex
+                                     : static_cast<VertexId>(attach);
+      }
+      r.top = cur;
+      r.a = a;
+      r.b = b;
+      const std::uint64_t lo = (a == bp::kNoPosition) ? 0 : a + 1;
+      const std::uint64_t hi = (b == bp::kNoPosition) ? L - 1 : b - 1;
+      const auto m = bp::min_label_in_range(L, lo, hi);
+      if (base + m.label - 1 == i) {
+        const std::uint64_t poff = t_path_off.get(hd);
+        r.leader = static_cast<VertexId>(t_vertex_at.get(poff + m.pos));
+      }
+      return r;
+    }
+  };
+  auto vertex_on_top_path = [&](VertexId top, std::uint64_t position) {
+    const std::uint64_t poff = t_path_off.get(t_head.get(top));
+    return static_cast<VertexId>(t_vertex_at.get(poff + position));
+  };
+
+  // 4. Leader of every (vertex, level) pair, levels in parallel (Lemma 9's
+  // O(log^2 n) memory blowup). Index = v * h + (i - 1).
+  DenseTable<std::uint64_t> t_leader(rt, "sc.leader",
+                                     static_cast<std::uint64_t>(n) * h,
+                                     kNoNext);
+  rt.round_over_items("singleton.leaders",
+                      static_cast<std::uint64_t>(n) * h,
+                      [&](MachineContext&, std::uint64_t item) {
+    const auto v = static_cast<VertexId>(item / h);
+    const auto i = static_cast<std::uint32_t>(item % h) + 1;
+    if (t_label.get(v) < i) return;  // v not alive at this level
+    const ClimbResult r = climb(v, i);
+    if (r.leader != kInvalidVertex) t_leader.put(item, r.leader);
+  });
+
+  // 5. ldr_time per leader (Lemma 11): at most two boundary candidates — up
+  // through the interval's left end (or the attach vertex), down through its
+  // right end. No boundary => the component is the whole tree; cap at
+  // t_full - 1 (the complete bag is not a cut).
+  DenseTable<std::uint64_t> t_ldr(rt, "sc.ldr", n, 0);
+  rt.round_over_items("singleton.ldr_time", n,
+                      [&](MachineContext&, std::uint64_t v) {
+    const auto i = static_cast<std::uint32_t>(t_label.get(v));
+    const ClimbResult r = climb(static_cast<VertexId>(v), i);
+    REPRO_CHECK_MSG(r.leader == static_cast<VertexId>(v),
+                    "leader must resolve to itself at its own level");
+    TimeStep first_absorb = std::numeric_limits<TimeStep>::max();
+    if (r.a != bp::kNoPosition) {
+      first_absorb = std::min(
+          first_absorb, pm.query(static_cast<VertexId>(v),
+                                 vertex_on_top_path(r.top, r.a)));
+    } else if (r.attach != kInvalidVertex) {
+      first_absorb =
+          std::min(first_absorb, pm.query(static_cast<VertexId>(v), r.attach));
+    }
+    if (r.b != bp::kNoPosition) {
+      first_absorb = std::min(
+          first_absorb, pm.query(static_cast<VertexId>(v),
+                                 vertex_on_top_path(r.top, r.b)));
+    }
+    if (first_absorb == std::numeric_limits<TimeStep>::max()) {
+      t_ldr.put(v, t_full - 1);
+    } else {
+      REPRO_CHECK(first_absorb >= 1);
+      t_ldr.put(v, first_absorb - 1);
+    }
+  });
+
+  // 6. Edge time intervals (Lemmas 12/13) over (edge, level) pairs.
+  struct Interval {
+    VertexId leader;
+    TimeStep lo, hi;
+    Weight w;
+  };
+  std::vector<Interval> intervals;
+  std::mutex intervals_mu;
+  const std::uint64_t items = static_cast<std::uint64_t>(g.m()) * h;
+  const std::uint64_t per =
+      std::max<std::uint64_t>(1, rt.config().machine_memory_words);
+  rt.round("singleton.intervals", ceil_div(items, per),
+           [&](MachineContext& ctx) {
+    const std::uint64_t lo_item = ctx.machine_id() * per;
+    const std::uint64_t hi_item = std::min(items, lo_item + per);
+    std::vector<Interval> local;
+    for (std::uint64_t item = lo_item; item < hi_item; ++item) {
+      const auto e = static_cast<EdgeId>(item / h);
+      const auto i = static_cast<std::uint32_t>(item % h) + 1;
+      const VertexId x = g.edges[e].u;
+      const VertexId y = g.edges[e].v;
+      const Weight w = g.edges[e].w;
+      const bool xa = t_label.get(x) >= i;
+      const bool ya = t_label.get(y) >= i;
+      if (!xa && !ya) continue;
+      const std::uint64_t lx =
+          xa ? t_leader.get(static_cast<std::uint64_t>(x) * h + (i - 1))
+             : kNoNext;
+      const std::uint64_t ly =
+          ya ? t_leader.get(static_cast<std::uint64_t>(y) * h + (i - 1))
+             : kNoNext;
+      if (lx != kNoNext && lx == ly) {
+        // Same component & leader (Case 3b): crosses between joining times.
+        const auto leader = static_cast<VertexId>(lx);
+        const TimeStep jx = pm.query(leader, x);
+        const TimeStep jy = pm.query(leader, y);
+        if (jx == jy) continue;  // joined simultaneously, never crosses
+        const auto ldr = static_cast<TimeStep>(t_ldr.get(leader));
+        const TimeStep a = std::min(jx, jy);
+        const TimeStep b = std::min<TimeStep>(std::max(jx, jy) - 1, ldr);
+        if (a <= b) {
+          local.push_back({leader, a, b, w});
+          ctx.count_write(2);
+        }
+      } else {
+        // Cases 2/3a: each alive side contributes until its leader falls.
+        for (const auto [alive, lv, z] :
+             {std::tuple{xa, lx, x}, std::tuple{ya, ly, y}}) {
+          if (!alive || lv == kNoNext) continue;
+          const auto leader = static_cast<VertexId>(lv);
+          const TimeStep j = pm.query(leader, z);
+          const auto ldr = static_cast<TimeStep>(t_ldr.get(leader));
+          if (j <= ldr) {
+            local.push_back({leader, j, ldr, w});
+            ctx.count_write(2);
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(intervals_mu);
+    intervals.insert(intervals.end(), local.begin(), local.end());
+  });
+
+  // 7. Group by leader and compress same-timestamp deltas (the S'' sequence
+  // of Lemma 14) — a standard O(1/eps) AMPC sort, charged.
+  rt.charge_rounds("singleton.group_sort[cited]", 2);
+  struct Event {
+    VertexId leader;
+    TimeStep t;
+    std::int64_t delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * intervals.size());
+  for (const auto& iv : intervals) {
+    const auto ldr = static_cast<TimeStep>(t_ldr.raw(iv.leader));
+    events.push_back({iv.leader, iv.lo, static_cast<std::int64_t>(iv.w)});
+    if (iv.hi + 1 <= ldr) {  // closes beyond ldr cannot affect [0, ldr]
+      events.push_back({iv.leader, static_cast<TimeStep>(iv.hi + 1),
+                        -static_cast<std::int64_t>(iv.w)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.leader, a.t) < std::tie(b.leader, b.t);
+  });
+  std::vector<std::int64_t> deltas;
+  std::vector<TimeStep> times_at;
+  std::vector<VertexId> seg_leader;
+  std::vector<std::uint64_t> offsets{0};
+  for (std::size_t i = 0; i < events.size();) {
+    const VertexId leader = events[i].leader;
+    if (seg_leader.empty() || seg_leader.back() != leader) {
+      if (!seg_leader.empty()) offsets.push_back(deltas.size());
+      seg_leader.push_back(leader);
+    }
+    std::size_t j = i;
+    std::int64_t sum = 0;
+    while (j < events.size() && events[j].leader == leader &&
+           events[j].t == events[i].t) {
+      sum += events[j].delta;
+      ++j;
+    }
+    deltas.push_back(sum);
+    times_at.push_back(events[i].t);
+    i = j;
+  }
+  offsets.push_back(deltas.size());
+
+  // 8. Minimum coverage per leader via the segmented Theorem 5 machinery.
+  const auto mins = segmented_min_prefix_sum(rt, deltas, offsets);
+  SingletonCutResult best;
+  for (std::size_t s = 0; s < seg_leader.size(); ++s) {
+    const std::int64_t mp = mins[s].min_prefix;
+    REPRO_CHECK_MSG(mp >= 0, "negative interval coverage");
+    if (static_cast<Weight>(mp) < best.weight) {
+      best.weight = static_cast<Weight>(mp);
+      best.rep = seg_leader[s];
+      best.time = times_at[offsets[s] + mins[s].argmin];
+    }
+  }
+  REPRO_CHECK_MSG(best.weight != kInfiniteWeight,
+                  "no proper bag found on a connected graph");
+  return best;
+}
+
+}  // namespace ampccut::ampc

@@ -1,0 +1,43 @@
+// SmallestSingletonCut (Algorithm 3 / Theorem 3) on the AMPC runtime.
+//
+// Round structure (measured unless marked cited):
+//   1. MSF of the contraction order            — cited O(1/eps) [4], or the
+//      measured Boruvka variant (ablation);
+//   2. root/orient + low-depth decomposition   — Euler tours, list rankings,
+//      label arithmetic (Lemmas 3-7), measured;
+//   3. HLD + path-max RMQ build                — cited O(1/eps) (Theorem 4);
+//      queries are measured reads (O(log n) per query, as Theorem 4 states);
+//   4. leader resolution for every (vertex, level) pair — ONE adaptive-walk
+//      round navigating components arithmetically through the binarized-path
+//      geometry (this is where Definition 1 + Lemma 10's "positions are
+//      functions of path length and position" pay off; levels processed in
+//      parallel with the O(log^2 n) memory blowup of Lemma 9);
+//   5. ldr_time per leader (Lemma 11)          — one round, <= 2 boundary
+//      candidates each;
+//   6. edge time intervals (Lemmas 12/13)      — one round over
+//      (edge, level) pairs;
+//   7. group intervals by leader               — cited sort;
+//   8. minimum coverage per leader (Lemma 14)  — segmented min-prefix-sum
+//      (Theorem 5), measured.
+//
+// Exactness contract: identical output (including a reconstructable witness)
+// to mincut/singleton.h's oracle on every graph — enforced by tests.
+#pragma once
+
+#include "ampc/runtime.h"
+#include "graph/graph.h"
+#include "mincut/singleton.h"
+
+namespace ampccut::ampc {
+
+struct AmpcSingletonOptions {
+  bool use_boruvka_msf = false;  // measured MSF instead of cited
+};
+
+// Requires a connected graph with n >= 2 (the min-cut driver guards
+// disconnected inputs). Rounds/reads/memory accumulate into rt.metrics().
+SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
+                                          const ContractionOrder& order,
+                                          const AmpcSingletonOptions& opt = {});
+
+}  // namespace ampccut::ampc

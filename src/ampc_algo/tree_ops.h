@@ -1,0 +1,43 @@
+// AMPC tree operations via Euler tours + list ranking (Lemma 4 / Behnezhad
+// et al. [3] Theorem 7): rooting/orientation, depth, subtree size, preorder —
+// each an O(1)-round derivation on top of the O(1/eps)-round list ranking.
+//
+// The Euler tour of a tree is built locally: arc (u,v)'s successor is the
+// arc (v, w) where w follows u in v's circular adjacency order — pure index
+// arithmetic over a CSR layout, no iteration. Rooting at r cuts the cycle at
+// r's first outgoing arc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ampc/runtime.h"
+#include "graph/graph.h"
+
+namespace ampccut::ampc {
+
+struct AmpcRootedTree {
+  VertexId n = 0;
+  VertexId root = 0;
+  std::vector<VertexId> parent;        // kInvalidVertex at the root
+  std::vector<TimeStep> parent_time;   // weight of the parent edge
+  std::vector<std::uint32_t> depth;    // root = 0
+  std::vector<std::uint32_t> subtree;  // sizes incl. self
+  std::vector<std::uint32_t> preorder; // root = 0
+};
+
+// `edges`/`times` must form a spanning tree on n vertices.
+AmpcRootedTree ampc_root_tree(Runtime& rt, VertexId n,
+                              const std::vector<WEdge>& edges,
+                              const std::vector<TimeStep>& times,
+                              VertexId root);
+
+// Connected components of a forest/graph by adaptive leader walks
+// (Behnezhad et al. [4]): each vertex repeatedly hops to the
+// minimum-labeled vertex in its adaptive neighborhood until labels
+// stabilize; every phase is O(1) rounds and the number of phases is
+// O(1/eps) w.h.p. for forests (E7 measures it on cycles). Returns the
+// minimum vertex id of each vertex's component.
+std::vector<VertexId> ampc_components(Runtime& rt, const WGraph& g);
+
+}  // namespace ampccut::ampc

@@ -1,0 +1,31 @@
+// Exhaustive baselines for tiny instances — the final word in tests.
+#pragma once
+
+#include <vector>
+
+#include "exact/stoer_wagner.h"
+#include "graph/graph.h"
+
+namespace ampccut {
+
+// Min cut by enumerating all 2^(n-1) - 1 proper subsets containing vertex 0's
+// complement classes. Requires 2 <= n <= 24.
+MinCutResult brute_force_min_cut(const WGraph& g);
+
+struct KCutResult {
+  Weight weight = kInfiniteWeight;
+  // part[v] in [0, k): the partition class of each vertex.
+  std::vector<std::uint32_t> part;
+};
+
+// Min k-cut by enumerating assignments V -> [k] where every class is
+// non-empty. Requires k <= n and k^n manageable (tests keep n <= 10).
+KCutResult brute_force_min_k_cut(const WGraph& g, std::uint32_t k);
+
+// Sum of weights of edges whose endpoints lie in different classes.
+Weight k_cut_weight(const WGraph& g, const std::vector<std::uint32_t>& part);
+
+// Smallest weighted singleton cut delta({v}) — handy test oracle.
+Weight min_singleton_degree(const WGraph& g);
+
+}  // namespace ampccut

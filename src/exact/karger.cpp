@@ -1,0 +1,175 @@
+#include "exact/karger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "graph/union_find.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ampccut {
+
+namespace {
+
+// Contracted multigraph state for the recursive algorithm: vertices carry the
+// set of original vertices they represent via a union-find over original ids.
+struct ContractState {
+  WGraph g;                    // current multigraph (parallel edges merged)
+  std::vector<std::vector<VertexId>> members;  // original vertices per node
+};
+
+// Contract g down to `target` vertices by repeatedly fusing a random edge
+// chosen proportionally to weight (exponential-clock order gives exactly that
+// distribution, so we draw clocks once and contract in order).
+ContractState contract_to(const ContractState& in, VertexId target, Rng& rng) {
+  const WGraph& g = in.g;
+  REPRO_CHECK(target >= 2);
+  if (g.n <= target) return in;
+  std::vector<double> clock(g.edges.size());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    clock[i] = rng.next_exponential(static_cast<double>(g.edges[i].w));
+  }
+  std::vector<EdgeId> order(g.edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return clock[a] < clock[b]; });
+
+  UnionFind uf(g.n);
+  VertexId remaining = g.n;
+  for (EdgeId id : order) {
+    if (remaining == target) break;
+    if (uf.unite(g.edges[id].u, g.edges[id].v)) --remaining;
+  }
+  // Graphs that are disconnected can stall above target; accept whatever
+  // component structure remains (the cut value 0 will surface naturally).
+  std::vector<VertexId> new_id(g.n, kInvalidVertex);
+  ContractState out;
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.n; ++v) {
+    const VertexId r = uf.find(v);
+    if (new_id[r] == kInvalidVertex) new_id[r] = next++;
+  }
+  out.g.n = next;
+  out.members.assign(next, {});
+  for (VertexId v = 0; v < g.n; ++v) {
+    const VertexId nv = new_id[uf.find(v)];
+    out.members[nv].insert(out.members[nv].end(), in.members[v].begin(),
+                           in.members[v].end());
+  }
+  // Merge parallel edges with a hash-free sort pass.
+  std::vector<WEdge> scratch;
+  scratch.reserve(g.edges.size());
+  for (const auto& e : g.edges) {
+    VertexId a = new_id[uf.find(e.u)];
+    VertexId b = new_id[uf.find(e.v)];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    scratch.push_back({a, b, e.w});
+  }
+  std::sort(scratch.begin(), scratch.end(), [](const WEdge& x, const WEdge& y) {
+    return std::tie(x.u, x.v) < std::tie(y.u, y.v);
+  });
+  for (const auto& e : scratch) {
+    if (!out.g.edges.empty() && out.g.edges.back().u == e.u &&
+        out.g.edges.back().v == e.v) {
+      out.g.edges.back().w += e.w;
+    } else {
+      out.g.edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+MinCutResult cut_from_two(const ContractState& st, VertexId total_n) {
+  REPRO_CHECK(st.g.n >= 2);
+  MinCutResult r;
+  r.weight = 0;
+  for (const auto& e : st.g.edges) r.weight += e.w;
+  r.side.assign(total_n, 0);
+  for (VertexId orig : st.members[0]) r.side[orig] = 1;
+  return r;
+}
+
+MinCutResult karger_stein_rec(const ContractState& st, VertexId total_n,
+                              Rng& rng) {
+  const VertexId n = st.g.n;
+  if (n <= 6) {
+    // Base case: finish the contraction to 2 vertices a few times and keep
+    // the best — cheap and keeps the implementation self-contained.
+    MinCutResult best;
+    for (int rep = 0; rep < 8; ++rep) {
+      const ContractState two = contract_to(st, 2, rng);
+      if (two.g.n < 2) continue;  // disconnected remainder
+      const MinCutResult r = cut_from_two(two, total_n);
+      if (r.weight < best.weight) best = r;
+    }
+    if (best.side.empty()) {
+      // Disconnected graph: any whole component is a zero cut.
+      best.weight = 0;
+      best.side.assign(total_n, 0);
+      for (VertexId orig : st.members[0]) best.side[orig] = 1;
+    }
+    return best;
+  }
+  const auto target = static_cast<VertexId>(
+      std::max<double>(2.0, std::ceil(n / std::sqrt(2.0) + 1)));
+  MinCutResult best;
+  for (int branch = 0; branch < 2; ++branch) {
+    const ContractState sub = contract_to(st, target, rng);
+    const MinCutResult r = karger_stein_rec(sub, total_n, rng);
+    if (r.weight < best.weight) best = r;
+  }
+  return best;
+}
+
+ContractState initial_state(const WGraph& g) {
+  ContractState st;
+  st.g = g;
+  st.members.assign(g.n, {});
+  for (VertexId v = 0; v < g.n; ++v) st.members[v] = {v};
+  return st;
+}
+
+}  // namespace
+
+MinCutResult karger_single_run(const WGraph& g, std::uint64_t seed) {
+  REPRO_CHECK(g.n >= 2);
+  Rng rng(seed);
+  const ContractState two = contract_to(initial_state(g), 2, rng);
+  if (two.g.n < 2) {
+    MinCutResult r;
+    r.weight = 0;
+    r.side.assign(g.n, 0);
+    for (VertexId orig : two.members[0]) r.side[orig] = 1;
+    return r;
+  }
+  return cut_from_two(two, g.n);
+}
+
+MinCutResult karger_repeated(const WGraph& g, std::uint32_t trials,
+                             std::uint64_t seed) {
+  MinCutResult best;
+  Rng rng(seed);
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const MinCutResult r = karger_single_run(g, rng.next_u64());
+    if (r.weight < best.weight) best = r;
+  }
+  return best;
+}
+
+MinCutResult karger_stein(const WGraph& g, std::uint32_t trials,
+                          std::uint64_t seed) {
+  REPRO_CHECK(g.n >= 2);
+  MinCutResult best;
+  Rng rng(seed);
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    Rng sub = rng.split(t);
+    const MinCutResult r = karger_stein_rec(initial_state(g), g.n, sub);
+    if (r.weight < best.weight) best = r;
+  }
+  return best;
+}
+
+}  // namespace ampccut

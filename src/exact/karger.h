@@ -1,0 +1,29 @@
+// Karger and Karger–Stein randomized contraction baselines.
+//
+// These are the sequential ancestors of the paper's machinery (Lemma 1) and
+// serve as quality/round baselines in the benches: Karger's single run
+// succeeds with probability Omega(1/n^2); Karger–Stein's recursive schedule
+// boosts one run to Omega(1/log n).
+#pragma once
+
+#include <cstdint>
+
+#include "exact/stoer_wagner.h"
+#include "graph/graph.h"
+
+namespace ampccut {
+
+// One full random contraction down to 2 supervertices; returns the resulting
+// cut. Weighted: edges are picked proportionally to weight.
+MinCutResult karger_single_run(const WGraph& g, std::uint64_t seed);
+
+// Best of `trials` independent single runs.
+MinCutResult karger_repeated(const WGraph& g, std::uint32_t trials,
+                             std::uint64_t seed);
+
+// Karger–Stein: contract to n/sqrt(2), recurse twice, take the better cut.
+// `trials` independent instances are run and the best is returned.
+MinCutResult karger_stein(const WGraph& g, std::uint32_t trials,
+                          std::uint64_t seed);
+
+}  // namespace ampccut

@@ -1,0 +1,25 @@
+// Exact global weighted Min Cut (Stoer–Wagner, 1997).
+//
+// O(n^3) adjacency-matrix implementation: the exact solver is only used as
+// ground truth for graphs up to a few thousand vertices, where clarity beats
+// asymptotics. Returns the cut value and one side of an optimal cut.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampccut {
+
+struct MinCutResult {
+  Weight weight = kInfiniteWeight;
+  // side[v] == 1 for vertices on the (smaller, by convention of discovery)
+  // side of the cut. Empty when the graph has < 2 vertices.
+  std::vector<std::uint8_t> side;
+};
+
+// Requires n >= 2. Disconnected graphs yield weight 0 with a component as one
+// side. Parallel edges are merged internally.
+MinCutResult stoer_wagner_min_cut(const WGraph& g);
+
+}  // namespace ampccut

@@ -1,0 +1,109 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.h"
+
+namespace ampccut {
+
+Dinic::Dinic(VertexId n) : n_(n), adj_(n), level_(n), iter_(n) {}
+
+void Dinic::add_undirected_edge(VertexId u, VertexId v, Weight w) {
+  REPRO_CHECK(u < n_ && v < n_ && u != v);
+  // For an undirected edge both arcs carry capacity w and act as each other's
+  // reverse: pushing along one frees the other, which models undirected flow.
+  adj_[u].push_back({v, w, adj_[v].size()});
+  adj_[v].push_back({u, w, adj_[u].size() - 1});
+  // Remember original capacity in the arc pair implicitly: cap_u + cap_v = 2w.
+}
+
+bool Dinic::bfs(VertexId s, VertexId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<VertexId> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Arc& a : adj_[v]) {
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+Weight Dinic::dfs(VertexId v, VertexId t, Weight pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Arc& a = adj_[v][i];
+    if (a.cap == 0 || level_[a.to] != level_[v] + 1) continue;
+    const Weight got = dfs(a.to, t, std::min(pushed, a.cap));
+    if (got > 0) {
+      a.cap -= got;
+      adj_[a.to][a.rev].cap += got;
+      touched_.push_back({v, i});
+      return got;
+    }
+  }
+  return 0;
+}
+
+Weight Dinic::max_flow(VertexId s, VertexId t) {
+  REPRO_CHECK(s < n_ && t < n_ && s != t);
+  // Restore capacities from the previous run: for an undirected pair the
+  // invariant cap_fwd + cap_rev == 2w lets us rebalance to w/w exactly.
+  if (last_source_ != kInvalidVertex) {
+    for (VertexId v = 0; v < n_; ++v) {
+      for (Arc& a : adj_[v]) {
+        if (a.to > v) continue;  // visit each pair once (from higher id)
+        Arc& r = adj_[a.to][a.rev];
+        const Weight total = a.cap + r.cap;
+        a.cap = total / 2;
+        r.cap = total - a.cap;
+      }
+    }
+  }
+  touched_.clear();
+  last_source_ = s;
+  Weight flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    for (;;) {
+      const Weight got = dfs(s, t, kInfiniteWeight);
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::vector<std::uint8_t> Dinic::min_cut_side() const {
+  REPRO_CHECK_MSG(last_source_ != kInvalidVertex, "run max_flow first");
+  std::vector<std::uint8_t> side(n_, 0);
+  std::queue<VertexId> q;
+  side[last_source_] = 1;
+  q.push(last_source_);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Arc& a : adj_[v]) {
+      if (a.cap > 0 && !side[a.to]) {
+        side[a.to] = 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return side;
+}
+
+Weight st_min_cut(const WGraph& g, VertexId s, VertexId t) {
+  Dinic d(g.n);
+  for (const auto& e : g.edges) d.add_undirected_edge(e.u, e.v, e.w);
+  return d.max_flow(s, t);
+}
+
+}  // namespace ampccut

@@ -1,0 +1,48 @@
+// Dinic max-flow on undirected capacitated graphs.
+//
+// Substrate for the Gomory–Hu tree (Definition 8) used by the k-cut analysis.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampccut {
+
+class Dinic {
+ public:
+  explicit Dinic(VertexId n);
+
+  // Undirected edge: capacity w in both directions.
+  void add_undirected_edge(VertexId u, VertexId v, Weight w);
+
+  // Computes the s-t max flow. Resets previous flow first, so the solver is
+  // reusable across (s, t) pairs on the same capacities.
+  Weight max_flow(VertexId s, VertexId t);
+
+  // After max_flow: vertices reachable from s in the residual graph
+  // (the s-side of a minimum s-t cut).
+  [[nodiscard]] std::vector<std::uint8_t> min_cut_side() const;
+
+ private:
+  struct Arc {
+    VertexId to;
+    Weight cap;   // remaining capacity
+    std::size_t rev;  // index of the reverse arc in adj_[to]
+  };
+
+  bool bfs(VertexId s, VertexId t);
+  Weight dfs(VertexId v, VertexId t, Weight pushed);
+
+  VertexId n_;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::pair<VertexId, std::size_t>> touched_;  // arcs with flow
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  VertexId last_source_ = kInvalidVertex;
+};
+
+// Convenience: s-t min cut value on a WGraph.
+Weight st_min_cut(const WGraph& g, VertexId s, VertexId t);
+
+}  // namespace ampccut

@@ -1,0 +1,106 @@
+#include "flow/gomory_hu.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/dinic.h"
+#include "graph/union_find.h"
+#include "support/check.h"
+
+namespace ampccut {
+
+Weight GomoryHuTree::min_cut(VertexId s, VertexId t) const {
+  REPRO_CHECK(s != t && s < parent.size() && t < parent.size());
+  // Walk both vertices to the root, recording path minima. Depths are not
+  // stored, so climb by marking: collect s's ancestry then walk t upward
+  // until it meets a marked vertex (at worst the root).
+  std::vector<std::uint8_t> on_s_path(parent.size(), 0);
+  std::vector<Weight> min_to_s(parent.size(), kInfiniteWeight);
+  VertexId v = s;
+  Weight acc = kInfiniteWeight;
+  on_s_path[v] = 1;
+  min_to_s[v] = acc;
+  while (parent[v] != kInvalidVertex) {
+    acc = std::min(acc, parent_cut_weight[v]);
+    v = parent[v];
+    on_s_path[v] = 1;
+    min_to_s[v] = acc;
+  }
+  Weight t_acc = kInfiniteWeight;
+  v = t;
+  while (!on_s_path[v]) {
+    REPRO_CHECK(parent[v] != kInvalidVertex);
+    t_acc = std::min(t_acc, parent_cut_weight[v]);
+    v = parent[v];
+  }
+  return std::min(t_acc, min_to_s[v]);
+}
+
+GomoryHuTree build_gomory_hu(const WGraph& g) {
+  REPRO_CHECK(g.n >= 2);
+  REPRO_CHECK_MSG(is_connected(g), "Gomory-Hu requires a connected graph");
+  GomoryHuTree tree;
+  tree.parent.assign(g.n, 0);
+  tree.parent.at(0) = kInvalidVertex;
+  tree.parent_cut_weight.assign(g.n, 0);
+
+  Dinic dinic(g.n);
+  for (const auto& e : g.edges) dinic.add_undirected_edge(e.u, e.v, e.w);
+
+  // Gusfield: all flows run on the ORIGINAL graph; the tree is rewired based
+  // on which side of the cut the current parent falls (Gusfield 1990,
+  // "Very simple methods for all pairs network flow analysis").
+  for (VertexId i = 1; i < g.n; ++i) {
+    const VertexId p = tree.parent[i];
+    const Weight f = dinic.max_flow(i, p);
+    const auto side = dinic.min_cut_side();  // 1 == i's side
+    tree.parent_cut_weight[i] = f;
+    for (VertexId j = 0; j < g.n; ++j) {
+      if (j != i && side[j] && tree.parent[j] == p) tree.parent[j] = i;
+    }
+    // If p's own parent landed on i's side, i takes p's place in the tree.
+    const VertexId pp = tree.parent[p];
+    if (pp != kInvalidVertex && side[pp]) {
+      tree.parent[i] = pp;
+      tree.parent[p] = i;
+      tree.parent_cut_weight[i] = tree.parent_cut_weight[p];
+      tree.parent_cut_weight[p] = f;
+    }
+  }
+  return tree;
+}
+
+GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k) {
+  REPRO_CHECK(k >= 1 && k <= g.n);
+  const GomoryHuTree tree = build_gomory_hu(g);
+  // Sort the n-1 tree edges by cut weight ascending; removing the k-1
+  // lightest splits the tree into k parts (each removal adds exactly one
+  // component since tree edges are independent).
+  std::vector<VertexId> order;
+  for (VertexId v = 1; v < g.n; ++v) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return tree.parent_cut_weight[a] < tree.parent_cut_weight[b];
+  });
+  std::vector<std::uint8_t> removed(g.n, 0);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) removed[order[i]] = 1;
+
+  UnionFind uf(g.n);
+  for (VertexId v = 1; v < g.n; ++v) {
+    if (!removed[v]) uf.unite(v, tree.parent[v]);
+  }
+  GHKCut out;
+  out.part.assign(g.n, 0);
+  std::vector<std::uint32_t> label(g.n, static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (VertexId v = 0; v < g.n; ++v) {
+    const VertexId r = uf.find(v);
+    if (label[r] == static_cast<std::uint32_t>(-1)) label[r] = next++;
+    out.part[v] = label[r];
+  }
+  for (const auto& e : g.edges) {
+    if (out.part[e.u] != out.part[e.v]) out.weight += e.w;
+  }
+  return out;
+}
+
+}  // namespace ampccut

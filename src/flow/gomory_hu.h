@@ -1,0 +1,37 @@
+// Gomory–Hu tree (Definition 8) via Gusfield's simplification.
+//
+// The tree encodes all-pairs s-t min cuts: the minimum edge weight on the
+// tree path between s and t equals their min cut in G. Section 5 of the paper
+// uses it both in the APX-SPLIT analysis and (Observation 10 / Theorem 6) as
+// the (2 - 2/k)-approximate k-cut construction we baseline against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampccut {
+
+struct GomoryHuTree {
+  // parent[v] and parent_cut_weight[v] define the tree edge v -> parent[v]
+  // for v != root (vertex 0). parent[0] == kInvalidVertex.
+  std::vector<VertexId> parent;
+  std::vector<Weight> parent_cut_weight;
+
+  // Min s-t cut value per the tree (minimum weight on the s..t path).
+  [[nodiscard]] Weight min_cut(VertexId s, VertexId t) const;
+};
+
+// Requires a connected graph with n >= 2.
+GomoryHuTree build_gomory_hu(const WGraph& g);
+
+// The Saran–Vazirani / Observation 10 k-cut: take Gomory–Hu cuts in
+// non-decreasing weight order until the graph splits into >= k components;
+// returns the union of those cuts as a partition. (2 - 2/k)-approximate.
+struct GHKCut {
+  Weight weight = 0;
+  std::vector<std::uint32_t> part;  // component id per vertex
+};
+GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k);
+
+}  // namespace ampccut

@@ -1,0 +1,291 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "support/check.h"
+
+namespace ampccut {
+
+namespace {
+
+// Threads a random Hamiltonian path through the vertices; guarantees
+// connectivity without biasing the cut structure much at moderate p.
+void add_random_spanning_path(WGraph& g, Rng& rng) {
+  std::vector<VertexId> order(g.n);
+  for (VertexId i = 0; i < g.n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (VertexId i = 0; i + 1 < g.n; ++i) g.add_edge(order[i], order[i + 1]);
+}
+
+}  // namespace
+
+WGraph gen_erdos_renyi(VertexId n, double p, std::uint64_t seed,
+                       bool force_connected) {
+  REPRO_CHECK(n >= 1);
+  WGraph g;
+  g.n = n;
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> used;
+  if (force_connected && n >= 2) {
+    add_random_spanning_path(g, rng);
+    for (const auto& e : g.edges) used.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  // Geometric skipping for sparse graphs would be faster, but n is moderate
+  // in tests/benches and the direct loop keeps the distribution transparent.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(p) && !used.count({u, v})) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+WGraph gen_random_connected(VertexId n, std::size_t m, std::uint64_t seed) {
+  REPRO_CHECK(n >= 1);
+  REPRO_CHECK_MSG(m + 1 >= n, "need at least n-1 edges for connectivity");
+  const std::size_t max_m =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  REPRO_CHECK_MSG(m <= max_m, "more edges than a simple graph admits");
+  WGraph g;
+  g.n = n;
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> used;
+  // Random attachment tree: v attaches to a uniform earlier vertex, after a
+  // random relabeling so the root is not special.
+  std::vector<VertexId> order(n);
+  for (VertexId i = 0; i < n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId j = static_cast<VertexId>(rng.next_below(i));
+    const VertexId u = order[i], v = order[j];
+    g.add_edge(u, v);
+    used.insert({std::min(u, v), std::max(u, v)});
+  }
+  while (g.edges.size() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (used.insert(key).second) g.add_edge(u, v);
+  }
+  return g;
+}
+
+void randomize_weights(WGraph& g, Weight max_w, std::uint64_t seed) {
+  REPRO_CHECK(max_w >= 1);
+  Rng rng(seed);
+  for (auto& e : g.edges) e.w = 1 + rng.next_below(max_w);
+}
+
+WGraph gen_planted_cut(VertexId n, double p_in, VertexId bridge_edges,
+                       std::uint64_t seed) {
+  REPRO_CHECK(n >= 4);
+  const VertexId half = n / 2;
+  Rng rng(seed);
+  WGraph g;
+  g.n = n;
+  auto blob = [&](VertexId lo, VertexId hi) {
+    // Connected ER blob on [lo, hi).
+    std::vector<VertexId> order;
+    for (VertexId v = lo; v < hi; ++v) order.push_back(v);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::set<std::pair<VertexId, VertexId>> used;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      g.add_edge(order[i], order[i + 1]);
+      used.insert({std::min(order[i], order[i + 1]),
+                   std::max(order[i], order[i + 1])});
+    }
+    for (VertexId u = lo; u < hi; ++u)
+      for (VertexId v = u + 1; v < hi; ++v)
+        if (rng.next_bernoulli(p_in) && !used.count({u, v})) g.add_edge(u, v);
+  };
+  blob(0, half);
+  blob(half, n);
+  std::set<std::pair<VertexId, VertexId>> bridges;
+  while (bridges.size() < bridge_edges) {
+    const auto u = static_cast<VertexId>(rng.next_below(half));
+    const auto v = static_cast<VertexId>(half + rng.next_below(n - half));
+    if (bridges.insert({u, v}).second) g.add_edge(u, v);
+  }
+  return g;
+}
+
+WGraph gen_communities(VertexId n, VertexId k, double p_in,
+                       VertexId bridge_edges, std::uint64_t seed) {
+  REPRO_CHECK(k >= 2 && n >= 2 * k);
+  const VertexId size = n / k;
+  Rng rng(seed);
+  WGraph g;
+  g.n = size * k;
+  auto lo_of = [&](VertexId c) { return c * size; };
+  for (VertexId c = 0; c < k; ++c) {
+    const VertexId lo = lo_of(c), hi = lo + size;
+    std::vector<VertexId> order;
+    for (VertexId v = lo; v < hi; ++v) order.push_back(v);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::set<std::pair<VertexId, VertexId>> used;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      g.add_edge(order[i], order[i + 1]);
+      used.insert({std::min(order[i], order[i + 1]),
+                   std::max(order[i], order[i + 1])});
+    }
+    for (VertexId u = lo; u < hi; ++u)
+      for (VertexId v = u + 1; v < hi; ++v)
+        if (rng.next_bernoulli(p_in) && !used.count({u, v})) g.add_edge(u, v);
+  }
+  for (VertexId c = 0; c < k; ++c) {
+    const VertexId next = (c + 1) % k;
+    std::set<std::pair<VertexId, VertexId>> used;
+    while (used.size() < bridge_edges) {
+      const auto u = static_cast<VertexId>(lo_of(c) + rng.next_below(size));
+      const auto v = static_cast<VertexId>(lo_of(next) + rng.next_below(size));
+      if (used.insert({u, v}).second) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+WGraph gen_barbell(VertexId n) {
+  REPRO_CHECK(n >= 4);
+  const VertexId half = n / 2;
+  WGraph g;
+  g.n = n;
+  for (VertexId u = 0; u < half; ++u)
+    for (VertexId v = u + 1; v < half; ++v) g.add_edge(u, v);
+  for (VertexId u = half; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  g.add_edge(0, half);
+  return g;
+}
+
+WGraph gen_cycle(VertexId n) {
+  REPRO_CHECK(n >= 3);
+  WGraph g;
+  g.n = n;
+  for (VertexId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+WGraph gen_two_cycles(VertexId n) {
+  REPRO_CHECK(n >= 6);
+  const VertexId half = n / 2;
+  WGraph g;
+  g.n = half * 2;
+  for (VertexId i = 0; i < half; ++i) g.add_edge(i, (i + 1) % half);
+  for (VertexId i = 0; i < half; ++i)
+    g.add_edge(half + i, half + (i + 1) % half);
+  return g;
+}
+
+WGraph gen_grid(VertexId rows, VertexId cols) {
+  REPRO_CHECK(rows >= 1 && cols >= 1);
+  WGraph g;
+  g.n = rows * cols;
+  auto id = [&](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+WGraph gen_complete(VertexId n) {
+  REPRO_CHECK(n >= 2);
+  WGraph g;
+  g.n = n;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+WGraph gen_path(VertexId n) {
+  REPRO_CHECK(n >= 1);
+  WGraph g;
+  g.n = n;
+  for (VertexId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+WGraph gen_star(VertexId n) {
+  REPRO_CHECK(n >= 1);
+  WGraph g;
+  g.n = n;
+  for (VertexId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+WGraph gen_random_tree(VertexId n, std::uint64_t seed) {
+  REPRO_CHECK(n >= 1);
+  WGraph g;
+  g.n = n;
+  Rng rng(seed);
+  for (VertexId i = 1; i < n; ++i) {
+    g.add_edge(i, static_cast<VertexId>(rng.next_below(i)));
+  }
+  return g;
+}
+
+WGraph gen_caterpillar(VertexId spine, VertexId legs) {
+  REPRO_CHECK(spine >= 1);
+  WGraph g;
+  g.n = spine * (1 + legs);
+  for (VertexId i = 0; i + 1 < spine; ++i) g.add_edge(i, i + 1);
+  VertexId next = spine;
+  for (VertexId i = 0; i < spine; ++i)
+    for (VertexId j = 0; j < legs; ++j) g.add_edge(i, next++);
+  return g;
+}
+
+WGraph gen_broom(VertexId n) {
+  REPRO_CHECK(n >= 3);
+  const VertexId handle = n / 2;
+  WGraph g;
+  g.n = n;
+  for (VertexId i = 0; i + 1 < handle; ++i) g.add_edge(i, i + 1);
+  for (VertexId i = handle; i < n; ++i) g.add_edge(handle - 1, i);
+  return g;
+}
+
+WGraph gen_binary_tree(VertexId n) {
+  REPRO_CHECK(n >= 1);
+  WGraph g;
+  g.n = n;
+  for (VertexId i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+WGraph gen_preferential_attachment(VertexId n, VertexId d, std::uint64_t seed) {
+  REPRO_CHECK(n >= d + 1 && d >= 1);
+  WGraph g;
+  g.n = n;
+  Rng rng(seed);
+  // Endpoint pool: each insertion makes future attachment proportional to
+  // degree (the classic Barabási–Albert trick).
+  std::vector<VertexId> pool;
+  for (VertexId v = 0; v <= d; ++v)
+    for (VertexId u = 0; u < v; ++u) {
+      g.add_edge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  for (VertexId v = d + 1; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < d) {
+      targets.insert(pool[rng.next_below(pool.size())]);
+    }
+    for (VertexId t : targets) {
+      g.add_edge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace ampccut

@@ -1,0 +1,75 @@
+// Workload generators.
+//
+// The paper motivates Min Cut on massive graphs from MapReduce-style
+// pipelines; it evaluates nothing empirically, so these families are chosen to
+// exercise the algorithms' interesting regimes:
+//   * Erdős–Rényi G(n,p)          — generic dense-ish cuts,
+//   * planted-cut / barbell       — a known small min cut to approximate,
+//   * community (caveman) graphs  — natural Min k-Cut instances,
+//   * cycles (one vs two)         — the 1-vs-2-Cycle conjecture workload,
+//   * trees (path/star/caterpillar/random/broom) — decomposition stressors,
+//   * grids, cliques, wheels      — structured controls.
+// All generators are deterministic in (params, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace ampccut {
+
+// G(n, p) with unit weights; optionally force connectivity by threading a
+// random spanning path through the vertices first.
+WGraph gen_erdos_renyi(VertexId n, double p, std::uint64_t seed,
+                       bool force_connected = true);
+
+// Random connected graph with exactly m edges (n-1 <= m): random spanning
+// tree plus distinct random non-tree edges.
+WGraph gen_random_connected(VertexId n, std::size_t m, std::uint64_t seed);
+
+// Random weights in [1, max_w] assigned to an unweighted graph.
+void randomize_weights(WGraph& g, Weight max_w, std::uint64_t seed);
+
+// Two G(half, p_in) blobs joined by `bridge_edges` unit edges: the planted min
+// cut is (usually) the bridge. Returns the graph; the planted cut value is
+// bridge_edges when p_in is large enough.
+WGraph gen_planted_cut(VertexId n, double p_in, VertexId bridge_edges,
+                       std::uint64_t seed);
+
+// k communities of size n/k, each an ER blob with p_in, joined in a ring by
+// `bridge_edges` edges between consecutive communities. Natural k-cut
+// instance: cutting all k bridges separates the communities.
+WGraph gen_communities(VertexId n, VertexId k, double p_in,
+                       VertexId bridge_edges, std::uint64_t seed);
+
+// Barbell: two cliques of size n/2 connected by a single edge (min cut 1).
+WGraph gen_barbell(VertexId n);
+
+// Single cycle on n vertices.
+WGraph gen_cycle(VertexId n);
+
+// Two disjoint cycles on n/2 vertices each (the 1-vs-2 cycle instance).
+WGraph gen_two_cycles(VertexId n);
+
+// sqrt(n) x sqrt(n) grid.
+WGraph gen_grid(VertexId rows, VertexId cols);
+
+WGraph gen_complete(VertexId n);
+
+// Trees (returned as graphs with n-1 edges).
+WGraph gen_path(VertexId n);
+WGraph gen_star(VertexId n);
+WGraph gen_random_tree(VertexId n, std::uint64_t seed);  // random attachment
+// Caterpillar: a spine of length `spine` with `legs` leaves per spine vertex.
+WGraph gen_caterpillar(VertexId spine, VertexId legs);
+// Broom: a path of length n/2 ending in a star of n/2 leaves. Worst-case-ish
+// mix of long heavy path and high degree.
+WGraph gen_broom(VertexId n);
+// Complete binary tree with n vertices.
+WGraph gen_binary_tree(VertexId n);
+
+// Preferential-attachment (Barabási–Albert-ish) with out-degree d.
+WGraph gen_preferential_attachment(VertexId n, VertexId d, std::uint64_t seed);
+
+}  // namespace ampccut

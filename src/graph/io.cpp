@@ -1,0 +1,58 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace ampccut {
+
+void write_edge_list(std::ostream& os, const WGraph& g) {
+  os << g.n << ' ' << g.edges.size() << '\n';
+  for (const auto& e : g.edges) {
+    os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+WGraph read_edge_list(std::istream& is) {
+  WGraph g;
+  std::string line;
+  std::size_t m = 0;
+  bool header_seen = false;
+  std::size_t edges_seen = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      ls >> g.n >> m;
+      REPRO_CHECK_MSG(!ls.fail(), "malformed header line");
+      g.edges.reserve(m);
+      header_seen = true;
+      continue;
+    }
+    VertexId u = 0, v = 0;
+    Weight w = 1;
+    ls >> u >> v;
+    REPRO_CHECK_MSG(!ls.fail(), "malformed edge line");
+    if (!(ls >> w)) w = 1;
+    g.add_edge(u, v, w);
+    ++edges_seen;
+  }
+  REPRO_CHECK_MSG(header_seen, "missing header line");
+  REPRO_CHECK_MSG(edges_seen == m, "edge count does not match header");
+  return g;
+}
+
+void save_edge_list(const std::string& path, const WGraph& g) {
+  std::ofstream os(path);
+  REPRO_CHECK_MSG(os.good(), "cannot open file for writing: " + path);
+  write_edge_list(os, g);
+}
+
+WGraph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  REPRO_CHECK_MSG(is.good(), "cannot open file for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace ampccut

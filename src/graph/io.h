@@ -1,0 +1,19 @@
+// Plain-text edge-list IO.
+//
+// Format: first line "n m", then m lines "u v w". Comments start with '#'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ampccut {
+
+void write_edge_list(std::ostream& os, const WGraph& g);
+WGraph read_edge_list(std::istream& is);
+
+void save_edge_list(const std::string& path, const WGraph& g);
+WGraph load_edge_list(const std::string& path);
+
+}  // namespace ampccut

@@ -1,0 +1,23 @@
+// Core value types shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace ampccut {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+// Cut weights are integral: exact equality between independently implemented
+// trackers is part of the test contract, which floating point would ruin.
+using Weight = std::uint64_t;
+
+// Contraction times are dense ranks 1..m of the (unique) random edge weights;
+// the paper's w : E -> [n^3] only needs a unique total order.
+using TimeStep = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr Weight kInfiniteWeight = static_cast<Weight>(-1);
+
+}  // namespace ampccut

@@ -1,0 +1,53 @@
+// Union-find with union by size and path halving.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "support/check.h"
+
+namespace ampccut {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<VertexId>(i);
+  }
+
+  VertexId find(VertexId x) {
+    REPRO_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if the two elements were in different components.
+  bool unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool same(VertexId a, VertexId b) { return find(a) == find(b); }
+
+  [[nodiscard]] std::size_t num_components() const { return components_; }
+  [[nodiscard]] std::size_t component_size(VertexId root) const {
+    return size_[root];
+  }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace ampccut

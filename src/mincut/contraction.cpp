@@ -1,0 +1,97 @@
+#include "mincut/contraction.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "graph/union_find.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ampccut {
+
+ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t m = g.edges.size();
+  std::vector<double> clock(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    clock[i] = rng.next_exponential(static_cast<double>(g.edges[i].w));
+  }
+  std::vector<EdgeId> idx(m);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
+    // Clocks are continuous so ties are measure-zero, but break them
+    // deterministically anyway.
+    return clock[a] != clock[b] ? clock[a] < clock[b] : a < b;
+  });
+  ContractionOrder order;
+  order.time.assign(m, 0);
+  for (std::size_t r = 0; r < m; ++r) {
+    order.time[idx[r]] = static_cast<TimeStep>(r + 1);
+  }
+  return order;
+}
+
+std::vector<EdgeId> msf_edges_by_time(const WGraph& g,
+                                      const ContractionOrder& order) {
+  REPRO_CHECK(order.time.size() == g.edges.size());
+  std::vector<EdgeId> idx(g.edges.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
+    return order.time[a] < order.time[b];
+  });
+  UnionFind uf(g.n);
+  std::vector<EdgeId> tree;
+  tree.reserve(g.n > 0 ? g.n - 1 : 0);
+  for (const EdgeId e : idx) {
+    if (uf.unite(g.edges[e].u, g.edges[e].v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+ContractedGraph contract_to_size(const WGraph& g, const ContractionOrder& order,
+                                 VertexId target) {
+  REPRO_CHECK(target >= 1);
+  UnionFind uf(g.n);
+  if (g.n > target) {
+    const auto tree = msf_edges_by_time(g, order);
+    VertexId remaining = g.n;
+    for (const EdgeId e : tree) {
+      if (remaining == target) break;
+      if (uf.unite(g.edges[e].u, g.edges[e].v)) --remaining;
+    }
+  }
+  ContractedGraph out;
+  out.origin.assign(g.n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.n; ++v) {
+    const VertexId r = uf.find(v);
+    if (out.origin[r] == kInvalidVertex) out.origin[r] = next++;
+  }
+  for (VertexId v = 0; v < g.n; ++v) out.origin[v] = out.origin[uf.find(v)];
+  out.g.n = next;
+  // Merge parallel edges: bucket by canonical endpoint pair via sorting.
+  std::vector<WEdge> scratch;
+  scratch.reserve(g.edges.size());
+  for (const auto& e : g.edges) {
+    VertexId a = out.origin[e.u];
+    VertexId b = out.origin[e.v];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    scratch.push_back({a, b, e.w});
+  }
+  std::sort(scratch.begin(), scratch.end(), [](const WEdge& x, const WEdge& y) {
+    return std::tie(x.u, x.v) < std::tie(y.u, y.v);
+  });
+  for (const auto& e : scratch) {
+    if (!out.g.edges.empty() && out.g.edges.back().u == e.u &&
+        out.g.edges.back().v == e.v) {
+      out.g.edges.back().w += e.w;
+    } else {
+      out.g.edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace ampccut

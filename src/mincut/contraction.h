@@ -1,0 +1,46 @@
+// The random contraction process (Section 4.1).
+//
+// Edges receive unique integer times 1..m; contracting edges in increasing
+// time order is Karger's process. For *weighted* contraction (pick an edge
+// with probability proportional to its weight) we draw exponential clocks
+// Exp(w_e) and rank them — identical in distribution, and ranks satisfy the
+// paper's unique-weight requirement (w : E -> [n^3] only needs a total
+// order). Only MST edges (w.r.t. the times) change the partition; everything
+// downstream (bags, singleton cuts) is a function of the MST + times, exactly
+// as the paper argues via Kruskal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampccut {
+
+struct ContractionOrder {
+  // time[e] in [1, m], all distinct; index parallel to g.edges.
+  std::vector<TimeStep> time;
+};
+
+// Weighted Karger order via exponential clocks (uniform order when all
+// weights are equal).
+ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed);
+
+// Kruskal by time. Returns edge ids of the minimum spanning forest, in
+// increasing time order.
+std::vector<EdgeId> msf_edges_by_time(const WGraph& g,
+                                      const ContractionOrder& order);
+
+// The graph after running the contraction process until `target` components
+// remain (or the process is exhausted, for disconnected inputs). Parallel
+// edges are merged; self-loops dropped. `origin[v]` maps each original
+// vertex to its supervertex id.
+struct ContractedGraph {
+  WGraph g;
+  std::vector<VertexId> origin;
+};
+
+ContractedGraph contract_to_size(const WGraph& g, const ContractionOrder& order,
+                                 VertexId target);
+
+}  // namespace ampccut

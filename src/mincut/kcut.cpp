@@ -1,0 +1,132 @@
+#include "mincut/kcut.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exact/stoer_wagner.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ampccut {
+
+namespace {
+
+// A component extracted as a standalone graph plus the bookkeeping to map a
+// cut of the component back to original edges.
+struct Component {
+  WGraph sub;
+  std::vector<VertexId> to_orig;      // sub vertex -> original vertex
+  std::vector<EdgeId> edge_to_orig;   // sub edge -> original edge id
+  // Cached best split of this component (computed lazily).
+  bool solved = false;
+  MinCutResult cut;
+};
+
+}  // namespace
+
+ApproxKCutResult apx_split_k_cut(
+    const WGraph& g, std::uint32_t k, const ComponentSplitter& splitter,
+    const std::function<void(std::uint32_t)>& on_iteration) {
+  REPRO_CHECK(k >= 1 && k <= g.n);
+  std::vector<std::uint8_t> removed(g.edges.size(), 0);
+
+  ApproxKCutResult out;
+  for (;;) {
+    // Components of G minus the removed cut edges.
+    WGraph residual;
+    residual.n = g.n;
+    for (EdgeId e = 0; e < g.edges.size(); ++e) {
+      if (!removed[e]) residual.edges.push_back(g.edges[e]);
+    }
+    const auto labels = component_labels(residual);
+    std::vector<VertexId> uniq(labels);
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    const auto num_comps = static_cast<std::uint32_t>(uniq.size());
+
+    if (num_comps >= k) {
+      out.num_parts = num_comps;
+      out.part.assign(g.n, 0);
+      for (VertexId v = 0; v < g.n; ++v) {
+        out.part[v] = static_cast<std::uint32_t>(
+            std::lower_bound(uniq.begin(), uniq.end(), labels[v]) -
+            uniq.begin());
+      }
+      out.weight = 0;
+      for (EdgeId e = 0; e < g.edges.size(); ++e) {
+        if (out.part[g.edges[e].u] != out.part[g.edges[e].v]) {
+          out.weight += g.edges[e].w;
+        }
+      }
+      return out;
+    }
+
+    // Build the splittable components and pick the cheapest cut among them
+    // (Algorithm 4 lines 3-5).
+    std::vector<Component> comps(num_comps);
+    std::vector<std::uint32_t> dense(g.n);
+    for (VertexId v = 0; v < g.n; ++v) {
+      const auto c = static_cast<std::uint32_t>(
+          std::lower_bound(uniq.begin(), uniq.end(), labels[v]) - uniq.begin());
+      dense[v] = c;
+      comps[c].to_orig.push_back(v);
+    }
+    std::vector<VertexId> local(g.n, kInvalidVertex);
+    for (auto& c : comps) {
+      c.sub.n = static_cast<VertexId>(c.to_orig.size());
+      for (VertexId i = 0; i < c.sub.n; ++i) local[c.to_orig[i]] = i;
+    }
+    for (EdgeId e = 0; e < g.edges.size(); ++e) {
+      if (removed[e]) continue;
+      const auto& ed = g.edges[e];
+      Component& c = comps[dense[ed.u]];
+      c.sub.edges.push_back({local[ed.u], local[ed.v], ed.w});
+      c.edge_to_orig.push_back(e);
+    }
+
+    std::size_t best_comp = comps.size();
+    Weight best_weight = kInfiniteWeight;
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      Component& c = comps[ci];
+      if (c.sub.n < 2) continue;  // singleton components cannot split
+      c.cut = splitter(c.sub);
+      c.solved = true;
+      if (c.cut.weight < best_weight) {
+        best_weight = c.cut.weight;
+        best_comp = ci;
+      }
+    }
+    REPRO_CHECK_MSG(best_comp != comps.size(),
+                    "no splittable component but fewer than k parts "
+                    "(k > number of vertices?)");
+
+    // Remove the winning cut's crossing edges (add them to D).
+    const Component& win = comps[best_comp];
+    for (std::size_t j = 0; j < win.sub.edges.size(); ++j) {
+      const auto& se = win.sub.edges[j];
+      if (win.cut.side[se.u] != win.cut.side[se.v]) {
+        removed[win.edge_to_orig[j]] = 1;
+      }
+    }
+    ++out.iterations;
+    if (on_iteration) on_iteration(out.iterations);
+  }
+}
+
+ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
+                                        const ApproxMinCutOptions& opt) {
+  std::uint64_t salt = 0;
+  return apx_split_k_cut(g, k, [&, opt](const WGraph& sub) mutable {
+    ApproxMinCutOptions o = opt;
+    o.seed = splitmix64(opt.seed ^ ++salt);
+    const ApproxMinCutResult r = approx_min_cut(sub, o);
+    return MinCutResult{r.weight, r.side};
+  });
+}
+
+ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k) {
+  return apx_split_k_cut(
+      g, k, [](const WGraph& sub) { return stoer_wagner_min_cut(sub); });
+}
+
+}  // namespace ampccut

@@ -1,0 +1,47 @@
+// APX-SPLIT: greedy (4+eps)-approximate Min k-Cut (Algorithm 4, Section 5).
+//
+// Repeatedly computes a (2+eps)-approximate min cut inside every current
+// component, removes the globally cheapest one, and stops once at least k
+// components exist. Theorem 2 bounds the result by (2+eps)(2-2/k) times the
+// optimum via the Gomory–Hu cut sequence of Observation 10. The splitter is
+// pluggable so the same greedy loop serves the sequential reference, the
+// exact Saran–Vazirani baseline (splitter = Stoer–Wagner, (2-2/k)-approx),
+// and the AMPC backend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mincut/mincut_recursive.h"
+
+namespace ampccut {
+
+struct ApproxKCutResult {
+  Weight weight = 0;
+  std::vector<std::uint32_t> part;  // component id per vertex, in [0, >=k)
+  std::uint32_t num_parts = 0;
+  std::uint32_t iterations = 0;
+};
+
+// Splitter contract: given a connected component as a standalone graph
+// (n >= 2), return an approximate (or exact) min cut with a valid side.
+using ComponentSplitter = std::function<MinCutResult(const WGraph&)>;
+
+// Greedy loop; requires 1 <= k <= g.n. With k == 1 returns the trivial
+// partition. Every pass recomputes the cut of every current component and
+// removes the cheapest one; `on_iteration` (when provided) fires at the end
+// of each pass with the pass index — the AMPC wrapper uses it to account one
+// parallel round-group per iteration.
+ApproxKCutResult apx_split_k_cut(
+    const WGraph& g, std::uint32_t k, const ComponentSplitter& splitter,
+    const std::function<void(std::uint32_t)>& on_iteration = nullptr);
+
+// Convenience wrappers.
+ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
+                                        const ApproxMinCutOptions& opt = {});
+// The Saran–Vazirani exact-splitter baseline ((2-2/k)-approximate).
+ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k);
+
+}  // namespace ampccut

@@ -1,0 +1,152 @@
+#include "mincut/mincut_recursive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exact/stoer_wagner.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ampccut {
+
+namespace {
+
+struct Frame {
+  WGraph g;
+  // origin-to-here composition is applied lazily on the way back up: each
+  // frame only remembers how ITS vertices map into the child (origin arrays
+  // from contract_to_size), and lifts the winning child's side through it.
+};
+
+struct InstanceResult {
+  Weight weight = kInfiniteWeight;
+  std::vector<std::uint8_t> side;  // in the instance's own vertex ids
+};
+
+class Driver {
+ public:
+  Driver(const ApproxMinCutOptions& opt, const MinCutBackend& backend)
+      : opt_(opt), backend_(backend) {
+    c_exp_ = (opt.eps / 3.0) / (1.0 - opt.eps / 3.0);
+  }
+
+  InstanceResult run(const WGraph& g, double t_factor, std::uint32_t level,
+                     Rng rng) {
+    ++stats_.instances;
+    stats_.depth = std::max(stats_.depth, level);
+    if (g.n <= opt_.local_threshold) {
+      ++stats_.local_solves;
+      if (g.n < 2) return {};  // nothing to cut
+      const MinCutResult r = backend_.solve_local(g, level);
+      return {r.weight, r.side};
+    }
+    const double x = std::max(opt_.x_min, std::pow(t_factor, c_exp_));
+    const auto branches = static_cast<std::uint32_t>(std::clamp<double>(
+        std::ceil(std::pow(x, 1.0 - opt_.eps / 3.0)), 2.0,
+        static_cast<double>(opt_.max_branch)));
+    const auto target = static_cast<VertexId>(std::max<double>(
+        opt_.local_threshold, std::ceil(static_cast<double>(g.n) / x)));
+    backend_.on_level(level, branches);
+
+    InstanceResult best;
+    std::uint64_t level_edges = 0;
+    for (std::uint32_t b = 0; b < branches; ++b) {
+      Rng branch_rng = rng.split(b);
+      const ContractionOrder order =
+          make_contraction_order(g, branch_rng.next_u64());
+      // Lemma 2 witness: the best singleton cut anywhere in this copy's full
+      // contraction process.
+      ++stats_.tracker_calls;
+      const SingletonCutResult s = backend_.track_singleton(g, order, level);
+      if (s.weight < best.weight) {
+        best.weight = s.weight;
+        best.side = reconstruct_bag(g, order, s.rep, s.time);
+      }
+      // Contract this copy and recurse (Algorithm 1 lines 6-7).
+      ContractedGraph c = contract_to_size(g, order, target);
+      REPRO_CHECK_MSG(c.g.n < g.n, "contraction made no progress");
+      level_edges += c.g.edges.size();
+      const InstanceResult sub =
+          run(c.g, t_factor * x, level + 1, branch_rng.split(0x5eedULL));
+      if (sub.weight < best.weight) {
+        best.weight = sub.weight;
+        // Lift the child's side through this contraction's origin map.
+        best.side.assign(g.n, 0);
+        for (VertexId v = 0; v < g.n; ++v) {
+          best.side[v] = sub.side[c.origin[v]];
+        }
+      }
+    }
+    stats_.peak_level_edges = std::max(stats_.peak_level_edges, level_edges);
+    return best;
+  }
+
+  RecursionStats stats_;
+
+ private:
+  const ApproxMinCutOptions& opt_;
+  const MinCutBackend& backend_;
+  double c_exp_;
+};
+
+}  // namespace
+
+MinCutBackend make_sequential_backend(bool use_oracle_tracker) {
+  MinCutBackend b;
+  if (use_oracle_tracker) {
+    b.track_singleton = [](const WGraph& g, const ContractionOrder& o,
+                           std::uint32_t) {
+      return min_singleton_cut_oracle(g, o);
+    };
+  } else {
+    b.track_singleton = [](const WGraph& g, const ContractionOrder& o,
+                           std::uint32_t) {
+      return min_singleton_cut_interval(g, o);
+    };
+  }
+  b.solve_local = [](const WGraph& g, std::uint32_t) {
+    return stoer_wagner_min_cut(g);
+  };
+  b.on_level = [](std::uint32_t, std::uint64_t) {};
+  return b;
+}
+
+ApproxMinCutResult approx_min_cut_with_backend(const WGraph& g,
+                                               const ApproxMinCutOptions& opt,
+                                               const MinCutBackend& backend) {
+  REPRO_CHECK(g.n >= 2);
+  REPRO_CHECK(opt.eps > 0.0 && opt.eps < 3.0);
+  ApproxMinCutResult out;
+  // Disconnected graphs have a zero cut along any component; the contraction
+  // machinery assumes connectivity, so short-circuit here (the same guard the
+  // AMPC driver applies with its O(1)-round connectivity primitive).
+  const auto comp = component_labels(g);
+  if (std::count(comp.begin(), comp.end(), comp[0]) !=
+      static_cast<std::ptrdiff_t>(g.n)) {
+    out.weight = 0;
+    out.side.assign(g.n, 0);
+    for (VertexId v = 0; v < g.n; ++v) out.side[v] = (comp[v] == comp[0]);
+    return out;
+  }
+
+  Rng rng(opt.seed);
+  Driver driver(opt, backend);
+  InstanceResult best;
+  for (std::uint32_t trial = 0; trial < std::max(1u, opt.trials); ++trial) {
+    const InstanceResult r = driver.run(g, 1.0, 0, rng.split(trial));
+    if (r.weight < best.weight) best = r;
+  }
+  REPRO_CHECK(best.weight != kInfiniteWeight);
+  out.weight = best.weight;
+  out.side = std::move(best.side);
+  out.stats = driver.stats_;
+  return out;
+}
+
+ApproxMinCutResult approx_min_cut(const WGraph& g,
+                                  const ApproxMinCutOptions& opt) {
+  return approx_min_cut_with_backend(
+      g, opt, make_sequential_backend(opt.use_oracle_tracker));
+}
+
+}  // namespace ampccut

@@ -1,0 +1,89 @@
+// AMPC-MinCut recursion skeleton (Algorithm 1, Section 2).
+//
+// The boosted Karger–Stein schedule: an instance that has been contracted by
+// a total factor t branches into ceil(x^(1-eps/3)) copies, each with fresh
+// random contraction times; each copy's full contraction process is scanned
+// for its smallest singleton cut (Lemma 2's witness), then contracted by a
+// further factor x and recursed on. x = max(x_min, t^c) with
+// c = (eps/3)/(1-eps/3), so t grows doubly exponentially and the recursion
+// depth is O(log log n). Instances at or below the local threshold (the
+// "fits in one machine's O(n^eps) memory" case, Algorithm 1 line 1) are
+// solved exactly by Stoer–Wagner.
+//
+// The skeleton is backend-parameterized: the sequential backend plugs in the
+// interval tracker of Section 4; the AMPC/MPC backends plug in trackers that
+// run on their runtimes and account rounds. All share this file's schedule,
+// so round-complexity comparisons isolate the models, not the recursion.
+//
+// Practical deviation (DESIGN.md): x_min defaults to 4 rather than 2. With
+// x = 2 the early levels duplicate whole near-full-size instances (work
+// doubles per level — fine on paper where "space" counts vertices, ruinous
+// for multigraphs whose edge counts shrink sublinearly). x_min = 4 keeps
+// per-level total work geometrically decreasing while preserving the
+// doubly-exponential schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exact/stoer_wagner.h"
+#include "graph/graph.h"
+#include "mincut/contraction.h"
+#include "mincut/singleton.h"
+
+namespace ampccut {
+
+struct ApproxMinCutOptions {
+  double eps = 0.9;                // schedule parameter (paper's epsilon)
+  double x_min = 4.0;              // minimum per-level contraction factor
+  std::uint32_t max_branch = 8;    // practical cap on copies per level
+  VertexId local_threshold = 32;   // solve exactly at or below this size
+  std::uint32_t trials = 2;        // independent runs of the whole recursion
+  std::uint64_t seed = 1;
+  bool use_oracle_tracker = false;  // reference tracker instead of Section 4
+};
+
+struct RecursionStats {
+  std::uint32_t depth = 0;            // deepest level reached (root = 0)
+  std::uint64_t instances = 0;        // recursive instances processed
+  std::uint64_t tracker_calls = 0;
+  std::uint64_t local_solves = 0;
+  std::uint64_t peak_level_edges = 0;  // max total edges across one level
+};
+
+struct ApproxMinCutResult {
+  Weight weight = kInfiniteWeight;
+  std::vector<std::uint8_t> side;  // witness cut (original vertex ids)
+  RecursionStats stats;
+};
+
+// Hooks that let the AMPC/MPC backends reuse the recursion skeleton. The
+// `level` argument identifies the recursion depth of the call: in the model,
+// all instances of one level execute in parallel, so backends account rounds
+// per level as the maximum over that level's calls.
+struct MinCutBackend {
+  // Smallest singleton cut over the full contraction process of (g, order).
+  std::function<SingletonCutResult(const WGraph&, const ContractionOrder&,
+                                   std::uint32_t level)>
+      track_singleton;
+  // Exact min cut of a small instance (fits one machine's memory).
+  std::function<MinCutResult(const WGraph&, std::uint32_t level)> solve_local;
+  // Called once per branching step with the instances spawned at `level`.
+  std::function<void(std::uint32_t level, std::uint64_t instances)> on_level;
+};
+
+// Sequential backend: interval (or oracle) tracker + Stoer–Wagner.
+MinCutBackend make_sequential_backend(bool use_oracle_tracker);
+
+// Runs the recursion with the given backend. Handles disconnected inputs
+// (returns a zero cut along a component). Requires n >= 2.
+ApproxMinCutResult approx_min_cut_with_backend(const WGraph& g,
+                                               const ApproxMinCutOptions& opt,
+                                               const MinCutBackend& backend);
+
+// Convenience: sequential backend per `opt.use_oracle_tracker`.
+ApproxMinCutResult approx_min_cut(const WGraph& g,
+                                  const ApproxMinCutOptions& opt = {});
+
+}  // namespace ampccut

@@ -1,0 +1,57 @@
+// Smallest singleton cut of a contraction process — common result type.
+//
+// Semantics shared by every tracker in the library (oracle, interval, AMPC,
+// MPC): the minimum over all pairs (v, t) of the weighted boundary of
+// bag(v, t) (Definition 6 / Observation 7), ranging over bags that are proper
+// subsets of v's connected component. Bags equal to a whole component are not
+// cuts of that component and are excluded; the paper implicitly assumes
+// connected inputs, where this only excludes bag == V (DESIGN.md deviation
+// #5). Trackers must agree *exactly* — tests enforce it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mincut/contraction.h"
+
+namespace ampccut {
+
+struct SingletonCutResult {
+  Weight weight = kInfiniteWeight;
+  // A witness: bag(rep, time) attains the minimum. Reconstruct the vertex set
+  // with reconstruct_bag().
+  VertexId rep = kInvalidVertex;
+  TimeStep time = 0;
+};
+
+// Vertices of bag(rep, t): everything reachable from rep via MSF edges with
+// time <= t. Marks bag members with 1.
+std::vector<std::uint8_t> reconstruct_bag(const WGraph& g,
+                                          const ContractionOrder& order,
+                                          VertexId rep, TimeStep t);
+
+// Exact reference tracker: Kruskal with smaller-into-larger boundary-edge
+// sets, O(m log m log n) expected. Works on any graph (multigraphs,
+// disconnected).
+SingletonCutResult min_singleton_cut_oracle(const WGraph& g,
+                                            const ContractionOrder& order);
+
+// Per-level statistics from the interval tracker, used by the memory /
+// structure benches (E3, E6).
+struct IntervalTrackerStats {
+  std::uint32_t height = 0;             // decomposition height used
+  std::uint64_t total_intervals = 0;    // Lemma 13 objects materialized
+  std::uint64_t total_level_vertices = 0;
+  std::uint32_t max_boundary_edges = 0;  // Lemma 10 (must be <= 2)
+  std::uint64_t peak_level_words = 0;    // memory proxy: max words per level
+};
+
+// The paper's tracker (Sections 3+4, sequential execution): low-depth
+// decomposition, per-level leaders / ldr_time / edge time intervals, minimum
+// interval coverage via a prefix sweep. Requires a connected graph with
+// n >= 2. `parallel` runs levels on the shared thread pool.
+SingletonCutResult min_singleton_cut_interval(
+    const WGraph& g, const ContractionOrder& order,
+    IntervalTrackerStats* stats = nullptr, bool parallel = true);
+
+}  // namespace ampccut

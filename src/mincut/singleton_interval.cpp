@@ -1,0 +1,256 @@
+// The paper's singleton-cut tracker (Sections 3 and 4), sequential driver.
+//
+// Pipeline per Lemma 9 / Algorithm 3:
+//   1. MSF by contraction time (the only topology-changing edges).
+//   2. Generalized low-depth decomposition of the MST (Algorithm 2).
+//   3. For each level i (independently — here: thread-pool parallel):
+//      components of T_i, the unique label-i leader per component
+//      (Definition 1), ldr_time via the <= 2 boundary edges (Lemmas 10, 11),
+//      per-edge time intervals (Lemma 12/13), and the minimum weighted
+//      interval coverage over [0, ldr_time] via an endpoint sweep (Lemma 14,
+//      the prefix-sum reformulation of Theorem 5).
+// Joining times use the path *maximum* (DESIGN.md deviation #3).
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "graph/union_find.h"
+#include "mincut/singleton.h"
+#include "support/check.h"
+#include "support/threadpool.h"
+#include "tree/low_depth.h"
+
+namespace ampccut {
+
+namespace {
+
+struct LevelBest {
+  Weight weight = kInfiniteWeight;
+  VertexId rep = kInvalidVertex;
+  TimeStep time = 0;
+  std::uint64_t intervals = 0;
+  std::uint64_t alive_vertices = 0;
+  std::uint32_t max_boundary = 0;
+  std::uint64_t words = 0;
+};
+
+struct Event {
+  TimeStep t;
+  std::int64_t delta;  // +w when an interval opens, -w one past its close
+};
+
+// Minimum coverage of weighted intervals (already clipped to [0, cap]) over
+// integer points [0, cap]. Coverage at 0 equals the leader's weighted degree.
+Weight min_coverage(std::vector<Event>& events, TimeStep cap, TimeStep* argmin) {
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+  std::int64_t cur = 0;
+  Weight best = kInfiniteWeight;
+  TimeStep best_t = 0;
+  std::size_t i = 0;
+  // Apply batches of events sharing a timestamp, then record the plateau
+  // value. All opens are at t <= cap; closes beyond cap cannot affect [0,cap].
+  while (i < events.size() && events[i].t <= cap) {
+    const TimeStep t = events[i].t;
+    while (i < events.size() && events[i].t == t) {
+      cur += events[i].delta;
+      ++i;
+    }
+    REPRO_CHECK_MSG(cur >= 0, "interval coverage went negative");
+    if (static_cast<Weight>(cur) < best) {
+      best = static_cast<Weight>(cur);
+      best_t = t;
+    }
+  }
+  if (argmin != nullptr) *argmin = best_t;
+  return best;
+}
+
+}  // namespace
+
+SingletonCutResult min_singleton_cut_interval(const WGraph& g,
+                                              const ContractionOrder& order,
+                                              IntervalTrackerStats* stats,
+                                              bool parallel) {
+  REPRO_CHECK(g.n >= 2);
+  REPRO_CHECK(order.time.size() == g.edges.size());
+  REPRO_CHECK_MSG(is_connected(g),
+                  "interval tracker requires a connected graph "
+                  "(the recursion driver handles disconnected inputs)");
+
+  // 1. MST of the contraction order.
+  const std::vector<EdgeId> tree_ids = msf_edges_by_time(g, order);
+  REPRO_CHECK(tree_ids.size() + 1 == g.n);
+  std::vector<WEdge> tree_edges;
+  std::vector<TimeStep> tree_times;
+  tree_edges.reserve(tree_ids.size());
+  tree_times.reserve(tree_ids.size());
+  TimeStep t_full = 0;  // time the graph becomes fully contracted
+  for (const EdgeId e : tree_ids) {
+    tree_edges.push_back(g.edges[e]);
+    tree_times.push_back(order.time[e]);
+    t_full = std::max(t_full, order.time[e]);
+  }
+
+  // 2. Decomposition of the MST.
+  const RootedTree rt = build_rooted_tree(g.n, tree_edges, tree_times, 0);
+  const HeavyLight hl = build_heavy_light(rt);
+  const PathMax pm(rt, hl);
+  const LowDepthDecomposition decomp = build_low_depth_decomposition(rt, hl);
+
+  // 3. Levels in parallel.
+  const std::uint32_t h = decomp.height;
+  std::vector<LevelBest> per_level(h + 1);
+
+  auto run_level = [&](std::uint32_t i) {
+    LevelBest& out = per_level[i];
+    if (decomp.levels[i].empty()) return;
+
+    // Components of T_i = {v : label >= i} over tree edges.
+    UnionFind uf(g.n);
+    for (std::size_t k = 0; k < tree_edges.size(); ++k) {
+      const auto& e = tree_edges[k];
+      if (decomp.label[e.u] >= i && decomp.label[e.v] >= i) uf.unite(e.u, e.v);
+    }
+    // Unique leader per component (Definition 1). Dense map root -> leader.
+    std::vector<VertexId> leader_of_root(g.n, kInvalidVertex);
+    for (const VertexId v : decomp.levels[i]) {
+      const VertexId r = uf.find(v);
+      REPRO_CHECK_MSG(leader_of_root[r] == kInvalidVertex,
+                      "Definition 1 violated: two leaders in one component");
+      leader_of_root[r] = v;
+    }
+    for (VertexId v = 0; v < g.n; ++v) {
+      if (decomp.label[v] >= i) ++out.alive_vertices;
+    }
+
+    // Boundary tree edges (exactly one endpoint alive) per component;
+    // Lemma 10 promises at most two per component.
+    struct Boundary {
+      VertexId inside = kInvalidVertex;
+      TimeStep time = 0;
+    };
+    std::vector<std::vector<Boundary>> boundary(g.n);
+    for (std::size_t k = 0; k < tree_edges.size(); ++k) {
+      const auto& e = tree_edges[k];
+      const bool ui = decomp.label[e.u] >= i;
+      const bool vi = decomp.label[e.v] >= i;
+      if (ui == vi) continue;
+      const VertexId inside = ui ? e.u : e.v;
+      boundary[uf.find(inside)].push_back({inside, tree_times[k]});
+    }
+
+    // ldr_time per leader (Lemma 11): the bag absorbs a lower-label vertex
+    // through a boundary edge at max(pathmax(leader, inside), edge time);
+    // the leader reigns strictly before the earliest absorption. Leaderless
+    // components are owned by other levels.
+    std::vector<TimeStep> ldr(g.n, 0);  // indexed by leader vertex
+    for (const VertexId v : decomp.levels[i]) {
+      const VertexId r = uf.find(v);
+      const auto& bnd = boundary[r];
+      out.max_boundary =
+          std::max(out.max_boundary, static_cast<std::uint32_t>(bnd.size()));
+      REPRO_CHECK_MSG(bnd.size() <= 2, "Lemma 10 violated: >2 boundary edges");
+      if (bnd.empty()) {
+        // Component is the whole (connected) tree; the final bag equals V and
+        // is excluded (DESIGN.md deviation #5).
+        REPRO_CHECK(t_full >= 1);
+        ldr[v] = t_full - 1;
+      } else {
+        TimeStep first_absorb = kInvalidEdge;
+        for (const auto& b : bnd) {
+          const TimeStep reach = std::max(pm.query(v, b.inside), b.time);
+          first_absorb = std::min(first_absorb, reach);
+        }
+        REPRO_CHECK(first_absorb >= 1);
+        ldr[v] = first_absorb - 1;
+      }
+    }
+
+    // Time intervals per edge (Lemmas 12/13), grouped per leader.
+    std::vector<std::vector<Event>> events(g.n);
+    auto add_interval = [&](VertexId leader, TimeStep lo, TimeStep hi,
+                            Weight w) {
+      if (lo > hi) return;
+      events[leader].push_back({lo, static_cast<std::int64_t>(w)});
+      events[leader].push_back({hi + 1, -static_cast<std::int64_t>(w)});
+      ++out.intervals;
+    };
+    for (EdgeId e = 0; e < g.edges.size(); ++e) {
+      const VertexId x = g.edges[e].u;
+      const VertexId y = g.edges[e].v;
+      const Weight w = g.edges[e].w;
+      const bool xa = decomp.label[x] >= i;
+      const bool ya = decomp.label[y] >= i;
+      const VertexId rx = xa ? uf.find(x) : kInvalidVertex;
+      const VertexId ry = ya ? uf.find(y) : kInvalidVertex;
+      const VertexId lx = xa ? leader_of_root[rx] : kInvalidVertex;
+      const VertexId ly = ya ? leader_of_root[ry] : kInvalidVertex;
+      if (xa && ya && rx == ry) {
+        // Same component (Case 3b): the edge crosses the leader's bag from
+        // the first joining time until both endpoints are inside.
+        if (lx == kInvalidVertex) continue;
+        const TimeStep jx = pm.query(lx, x);
+        const TimeStep jy = pm.query(lx, y);
+        // jx == jy happens when the path maximum sits on the shared prefix:
+        // both endpoints join simultaneously and the edge never crosses.
+        if (jx == jy) continue;
+        const TimeStep lo = std::min(jx, jy);
+        const TimeStep hi = std::min<TimeStep>(std::max(jx, jy) - 1, ldr[lx]);
+        add_interval(lx, lo, hi, w);
+      } else {
+        // Cases 2 / 3a: the far endpoint cannot enter the bag while the
+        // leader reigns (the path exits the component through a lower label).
+        if (lx != kInvalidVertex) {
+          const TimeStep jx = pm.query(lx, x);
+          if (jx <= ldr[lx]) add_interval(lx, jx, ldr[lx], w);
+        }
+        if (ly != kInvalidVertex) {
+          const TimeStep jy = pm.query(ly, y);
+          if (jy <= ldr[ly]) add_interval(ly, jy, ldr[ly], w);
+        }
+      }
+    }
+
+    // Sweep per leader (Lemma 14).
+    for (const VertexId v : decomp.levels[i]) {
+      out.words += 2 * events[v].size();
+      TimeStep argmin = 0;
+      const Weight w = min_coverage(events[v], ldr[v], &argmin);
+      if (w < out.weight) {
+        out.weight = w;
+        out.rep = v;
+        out.time = argmin;
+      }
+    }
+  };
+
+  if (parallel) {
+    ThreadPool::shared().parallel_for(
+        h, [&](std::size_t idx) { run_level(static_cast<std::uint32_t>(idx) + 1); });
+  } else {
+    for (std::uint32_t i = 1; i <= h; ++i) run_level(i);
+  }
+
+  SingletonCutResult best;
+  IntervalTrackerStats st;
+  st.height = h;
+  for (std::uint32_t i = 1; i <= h; ++i) {
+    const LevelBest& lb = per_level[i];
+    st.total_intervals += lb.intervals;
+    st.total_level_vertices += lb.alive_vertices;
+    st.max_boundary_edges = std::max(st.max_boundary_edges, lb.max_boundary);
+    st.peak_level_words = std::max(st.peak_level_words, lb.words);
+    if (lb.weight < best.weight) {
+      best.weight = lb.weight;
+      best.rep = lb.rep;
+      best.time = lb.time;
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  REPRO_CHECK_MSG(best.weight != kInfiniteWeight,
+                  "tracker found no proper bag on a connected graph");
+  return best;
+}
+
+}  // namespace ampccut

@@ -1,0 +1,225 @@
+#include "mpc/primitives.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace ampccut::mpc {
+
+namespace {
+
+std::size_t machines_for(const Runtime& rt, std::uint64_t items) {
+  (void)items;
+  return rt.num_machines();
+}
+
+}  // namespace
+
+std::vector<std::int64_t> mpc_list_rank(Runtime& rt,
+                                        const std::vector<std::uint64_t>& next,
+                                        const std::vector<std::int64_t>& value) {
+  const std::uint64_t n = next.size();
+  REPRO_CHECK(value.size() == n);
+  if (n == 0) return {};
+  const std::size_t P = machines_for(rt, n);
+  auto owner = [&](std::uint64_t e) { return e % P; };
+
+  // State lives "on the machines" — modeled as shared arrays the rounds
+  // partition by ownership; only message rounds advance knowledge.
+  std::vector<std::uint64_t> ptr = next;
+  std::vector<std::int64_t> acc = value;
+
+  const std::uint32_t steps = n >= 2 ? ceil_log2(n) : 1;
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    // Round 1: request successor state.
+    // Round 2: responses arrive; apply the doubling.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> queries;  // (e, tgt)
+    rt.round("mpc.list_rank.request", [&](std::uint64_t m,
+                                          const std::vector<Message>&,
+                                          const std::function<void(Message)>& send) {
+      for (std::uint64_t e = m; e < n; e += P) {
+        if (ptr[e] == kNoNext) continue;
+        send({owner(ptr[e]), {e, ptr[e]}});
+      }
+    });
+    rt.round("mpc.list_rank.respond", [&](std::uint64_t m,
+                                          const std::vector<Message>& inbox,
+                                          const std::function<void(Message)>& send) {
+      for (const auto& msg : inbox) {
+        const std::uint64_t e = msg.payload[0];
+        const std::uint64_t tgt = msg.payload[1];
+        REPRO_CHECK(owner(tgt) == m);
+        send({owner(e),
+              {e, ptr[tgt], static_cast<std::uint64_t>(acc[tgt])}});
+      }
+    });
+    // Apply responses (driver-side application of machine-local updates; the
+    // inbox of the *next* round would carry them — fold immediately).
+    std::vector<std::uint64_t> new_ptr = ptr;
+    std::vector<std::int64_t> new_acc = acc;
+    rt.round("mpc.list_rank.apply", [&](std::uint64_t m,
+                                        const std::vector<Message>& inbox,
+                                        const std::function<void(Message)>&) {
+      (void)m;
+      for (const auto& msg : inbox) {
+        const std::uint64_t e = msg.payload[0];
+        new_ptr[e] = msg.payload[1];
+        new_acc[e] = acc[e] + static_cast<std::int64_t>(msg.payload[2]);
+      }
+    });
+    ptr = std::move(new_ptr);
+    acc = std::move(new_acc);
+  }
+  return acc;
+}
+
+std::vector<VertexId> mpc_components(Runtime& rt, const WGraph& g) {
+  const VertexId n = g.n;
+  std::vector<std::uint64_t> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  if (n == 0) return {};
+  const Adjacency adj(g);
+  const std::size_t P = machines_for(rt, n);
+
+  for (;;) {
+    bool changed = false;
+    // Hook: adopt the minimum label in the closed neighborhood.
+    std::vector<std::uint64_t> hooked = label;
+    rt.round("mpc.cc.hook", [&](std::uint64_t m, const std::vector<Message>&,
+                                const std::function<void(Message)>&) {
+      for (std::uint64_t v = m; v < n; v += P) {
+        std::uint64_t best = label[v];
+        for (const auto& arc : adj.neighbors(static_cast<VertexId>(v))) {
+          best = std::min(best, label[arc.to]);
+        }
+        hooked[v] = best;
+      }
+    });
+    // Jump: label <- label of label (request + reply = 2 rounds).
+    std::vector<std::uint64_t> jumped = hooked;
+    rt.round("mpc.cc.jump.request", [&](std::uint64_t m,
+                                        const std::vector<Message>&,
+                                        const std::function<void(Message)>& send) {
+      for (std::uint64_t v = m; v < n; v += P) {
+        send({hooked[v] % P, {v, hooked[v]}});
+      }
+    });
+    rt.round("mpc.cc.jump.reply", [&](std::uint64_t,
+                                      const std::vector<Message>& inbox,
+                                      const std::function<void(Message)>&) {
+      for (const auto& msg : inbox) {
+        jumped[msg.payload[0]] = hooked[msg.payload[1]];
+      }
+    });
+    for (VertexId v = 0; v < n; ++v) {
+      if (jumped[v] != label[v]) {
+        label[v] = jumped[v];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<VertexId> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = static_cast<VertexId>(label[v]);
+  return out;
+}
+
+std::vector<EdgeId> mpc_msf_boruvka(Runtime& rt, const WGraph& g,
+                                    const ContractionOrder& order) {
+  const VertexId n = g.n;
+  std::vector<VertexId> comp(n);
+  std::iota(comp.begin(), comp.end(), 0);
+  std::vector<std::uint8_t> in_forest(g.edges.size(), 0);
+  const Adjacency adj(g);
+  const std::size_t P = machines_for(rt, n);
+
+  for (;;) {
+    // Proposal round: vertices ship their cheapest crossing edge to the
+    // machine owning their component label; owners aggregate the minimum.
+    std::vector<std::uint64_t> best_of_comp(n, kNoNext);
+    rt.round("mpc.msf.propose", [&](std::uint64_t m, const std::vector<Message>&,
+                                    const std::function<void(Message)>& send) {
+      for (std::uint64_t v = m; v < n; v += P) {
+        std::uint64_t best = kNoNext;
+        for (const auto& arc : adj.neighbors(static_cast<VertexId>(v))) {
+          if (comp[arc.to] == comp[v]) continue;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(order.time[arc.edge]) << 32) |
+              arc.edge;
+          best = std::min(best, key);
+        }
+        if (best != kNoNext) send({comp[v] % P, {comp[v], best}});
+      }
+    });
+    rt.round("mpc.msf.aggregate", [&](std::uint64_t,
+                                      const std::vector<Message>& inbox,
+                                      const std::function<void(Message)>&) {
+      for (const auto& msg : inbox) {
+        auto& slot = best_of_comp[msg.payload[0]];
+        slot = std::min(slot, msg.payload[1]);
+      }
+    });
+    bool any = false;
+    std::vector<std::uint64_t> hook(n, kNoNext);
+    for (VertexId c = 0; c < n; ++c) {
+      if (best_of_comp[c] == kNoNext) continue;
+      any = true;
+      const EdgeId e = static_cast<EdgeId>(best_of_comp[c] & 0xffffffffull);
+      in_forest[e] = 1;
+      const VertexId cu = comp[g.edges[e].u];
+      const VertexId cv = comp[g.edges[e].v];
+      hook[c] = (cu == c) ? cv : cu;
+    }
+    if (!any) break;
+    // Resolve 2-cycles, then flatten by jumping until stable.
+    for (VertexId c = 0; c < n; ++c) {
+      if (hook[c] != kNoNext && hook[c] < n &&
+          hook[hook[c]] == c && c < hook[c]) {
+        hook[c] = kNoNext;  // smaller endpoint becomes the root
+      }
+    }
+    std::vector<std::uint64_t> label(n);
+    for (VertexId c = 0; c < n; ++c) label[c] = hook[c] == kNoNext ? c : hook[c];
+    for (;;) {
+      bool changed = false;
+      std::vector<std::uint64_t> jumped = label;
+      rt.round("mpc.msf.jump.request", [&](std::uint64_t m,
+                                           const std::vector<Message>&,
+                                           const std::function<void(Message)>& send) {
+        for (std::uint64_t c = m; c < n; c += P) {
+          send({label[c] % P, {c, label[c]}});
+        }
+      });
+      rt.round("mpc.msf.jump.reply", [&](std::uint64_t,
+                                         const std::vector<Message>& inbox,
+                                         const std::function<void(Message)>&) {
+        for (const auto& msg : inbox) {
+          jumped[msg.payload[0]] = label[msg.payload[1]];
+        }
+      });
+      for (VertexId c = 0; c < n; ++c) {
+        if (jumped[c] != label[c]) {
+          label[c] = jumped[c];
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      comp[v] = static_cast<VertexId>(label[comp[v]]);
+    }
+  }
+
+  std::vector<EdgeId> forest;
+  for (EdgeId e = 0; e < g.edges.size(); ++e) {
+    if (in_forest[e]) forest.push_back(e);
+  }
+  std::sort(forest.begin(), forest.end(), [&](EdgeId a, EdgeId b) {
+    return order.time[a] < order.time[b];
+  });
+  return forest;
+}
+
+}  // namespace ampccut::mpc

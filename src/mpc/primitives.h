@@ -1,0 +1,35 @@
+// MPC primitives with the round complexities the 1-vs-2-Cycle regime forces:
+// pointer doubling costs Theta(log n) rounds because every hop of a chain
+// needs a communication round — precisely the cost AMPC's adaptive reads
+// erase. These are the building blocks of the Ghaffari–Nowicki-shaped
+// baseline (gn_baseline.h) and the E7 motivation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mincut/contraction.h"
+#include "mpc/runtime.h"
+
+namespace ampccut::mpc {
+
+inline constexpr std::uint64_t kNoNext = static_cast<std::uint64_t>(-1);
+
+// Suffix sums over successor lists by pointer doubling: 2 rounds
+// (request/reply) per doubling step, ceil(log2 n) steps.
+std::vector<std::int64_t> mpc_list_rank(Runtime& rt,
+                                        const std::vector<std::uint64_t>& next,
+                                        const std::vector<std::int64_t>& value);
+
+// Connected components via alternating hook (min over neighbors) and jump
+// (label <- label of label) phases; O(log n) alternations. Returns the
+// minimum vertex id per component.
+std::vector<VertexId> mpc_components(Runtime& rt, const WGraph& g);
+
+// Boruvka MSF: per phase one proposal round plus label flattening by
+// jumping; O(log n) phases. Returns forest edges in increasing time order.
+std::vector<EdgeId> mpc_msf_boruvka(Runtime& rt, const WGraph& g,
+                                    const ContractionOrder& order);
+
+}  // namespace ampccut::mpc

@@ -1,0 +1,2 @@
+// Intentionally header-only runtime; this TU anchors the library target.
+#include "mpc/runtime.h"

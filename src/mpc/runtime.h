@@ -1,0 +1,88 @@
+// A conventional MPC simulator (Karloff et al. [16] style), used for the
+// Ghaffari–Nowicki-shaped baseline and the 1-vs-2-cycle motivation bench.
+//
+// The contrast with ampc::Runtime is the point of the whole paper: machines
+// here have NO mid-round access to shared state. A round consists of local
+// computation over the machine's inbox followed by message exchange; what a
+// machine can learn per round is bounded by its local memory. Pointer
+// jumping therefore costs Theta(log n) rounds where AMPC's adaptive walks
+// cost O(1/eps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+#include "support/threadpool.h"
+
+namespace ampccut::mpc {
+
+struct Config {
+  std::uint64_t machine_memory_words = 1 << 16;
+};
+
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;       // total words shipped
+  std::uint64_t max_machine_recv = 0;  // max words into one machine per round
+  std::map<std::string, std::uint64_t> rounds_by_label;
+};
+
+// A message is addressed words; payload layout is algorithm-defined.
+struct Message {
+  std::uint64_t dst_machine;
+  std::vector<std::uint64_t> payload;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg, std::size_t num_machines)
+      : cfg_(cfg), inboxes_(num_machines) {}
+
+  [[nodiscard]] std::size_t num_machines() const { return inboxes_.size(); }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+
+  // Delivers last round's messages as `inbox`; `send` enqueues for the next
+  // round. Machines run in parallel on the shared pool.
+  using RoundFn = std::function<void(
+      std::uint64_t machine, const std::vector<Message>& inbox,
+      const std::function<void(Message)>& send)>;
+
+  void round(const char* label, const RoundFn& fn) {
+    ++metrics_.rounds;
+    ++metrics_.rounds_by_label[label];
+    std::vector<std::vector<Message>> outboxes(num_machines());
+    std::vector<std::mutex> locks(num_machines());
+    ThreadPool::shared().parallel_for(num_machines(), [&](std::size_t m) {
+      auto send = [&](Message msg) {
+        REPRO_CHECK(msg.dst_machine < num_machines());
+        std::lock_guard<std::mutex> lock(locks[msg.dst_machine]);
+        outboxes[msg.dst_machine].push_back(std::move(msg));
+      };
+      fn(m, inboxes_[m], send);
+    });
+    std::uint64_t total = 0;
+    std::uint64_t max_recv = 0;
+    for (std::size_t m = 0; m < num_machines(); ++m) {
+      std::uint64_t words = 0;
+      for (const auto& msg : outboxes[m]) words += msg.payload.size() + 1;
+      total += words;
+      max_recv = std::max(max_recv, words);
+    }
+    metrics_.messages += total;
+    metrics_.max_machine_recv = std::max(metrics_.max_machine_recv, max_recv);
+    inboxes_ = std::move(outboxes);
+  }
+
+ private:
+  Config cfg_;
+  Metrics metrics_;
+  std::vector<std::vector<Message>> inboxes_;
+};
+
+}  // namespace ampccut::mpc

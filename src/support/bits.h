@@ -1,0 +1,32 @@
+// Small bit-manipulation helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace ampccut {
+
+// floor(log2(x)) for x >= 1.
+inline std::uint32_t floor_log2(std::uint64_t x) {
+  REPRO_DCHECK(x >= 1);
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+// ceil(log2(x)) for x >= 1 (0 for x == 1).
+inline std::uint32_t ceil_log2(std::uint64_t x) {
+  REPRO_DCHECK(x >= 1);
+  return x == 1 ? 0u : floor_log2(x - 1) + 1u;
+}
+
+// Natural-log based sizes used in round-bound reporting.
+inline double log2d(double x) { return std::log2(x); }
+
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  REPRO_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace ampccut

@@ -1,0 +1,43 @@
+// Lightweight always-on invariant checks.
+//
+// The library is a research reproduction: internal invariants are cheap
+// relative to the algorithms and catching a violated invariant early is worth
+// far more than the branch. REPRO_CHECK stays on in release builds;
+// REPRO_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ampccut {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ampccut
+
+#define REPRO_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) ::ampccut::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REPRO_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::ampccut::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+// sizeof keeps the expression unevaluated while still "using" its operands,
+// so release builds get zero cost without unused-parameter warnings.
+#define REPRO_DCHECK(expr) ((void)sizeof(!(expr)))
+#else
+#define REPRO_DCHECK(expr) REPRO_CHECK(expr)
+#endif

@@ -1,0 +1,97 @@
+// Deterministic, splittable pseudo-random generation.
+//
+// All randomized algorithms in the library take an explicit seed so every
+// experiment is reproducible. SplitMix64 is used for cheap stateless splitting
+// (per edge / per machine substreams); Xoshiro256** is the workhorse stream
+// generator. Both are public-domain algorithms (Vigna / Steele et al.).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ampccut {
+
+// One SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+// Useful as a stateless hash for deriving independent substreams.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the four xoshiro words from splitmix64, per the author guidance.
+    std::uint64_t s = seed;
+    for (auto& w : state_) {
+      s = splitmix64(s);
+      w = s;
+    }
+  }
+
+  // Derive an independent generator for substream `tag` (e.g. edge id,
+  // machine id). Streams derived with different tags are de-correlated.
+  [[nodiscard]] Rng split(std::uint64_t tag) const {
+    return Rng(splitmix64(state_[0] ^ splitmix64(tag ^ 0xd1b54a32d192ed03ULL)));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection to kill bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in (0, 1] — safe as a log() argument.
+  double next_double_open() {
+    return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  // Exponential with rate `rate` (mean 1/rate). Used for Karger clocks:
+  // contracting edges in increasing Exp(w_e) order picks each next edge with
+  // probability proportional to its weight.
+  double next_exponential(double rate) {
+    return -std::log(next_double_open()) / rate;
+  }
+
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles accept Rng.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ampccut

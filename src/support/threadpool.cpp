@@ -1,0 +1,117 @@
+#include "support/threadpool.h"
+
+#include <exception>
+#include <memory>
+
+namespace ampccut {
+
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv_done;
+  std::exception_ptr error;  // first exception, guarded by mu
+
+  // Runs chunks until the index space is exhausted. Returns the number of
+  // iterations executed by this participant.
+  std::size_t drain(const std::function<void(std::size_t)>& fn) {
+    constexpr std::size_t kChunk = 16;
+    std::size_t executed = 0;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kChunk);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + kChunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+      executed += end - begin;
+      const std::size_t finished = done.fetch_add(end - begin) + (end - begin);
+      if (finished == count) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv_done.notify_all();
+      }
+    }
+    return executed;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return shutdown_ || (current_ && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = current_;  // shared ownership keeps the batch alive past the
+                         // caller's return, killing the use-after-free race
+    }
+    if (batch) batch->drain(*batch->body);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = batch;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  batch->drain(body);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv_done.wait(lock,
+                        [&] { return batch->done.load() == batch->count; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_.reset();
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ampccut

@@ -1,0 +1,53 @@
+// A minimal work-sharing thread pool used by the AMPC/MPC simulators.
+//
+// The simulators execute one *round* at a time: a round is a batch of
+// independent virtual-machine tasks with a barrier at the end. parallel_for
+// provides exactly that structure (fork, block-partitioned execution, join),
+// which mirrors the synchronous-round semantics of the models.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ampccut {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  // Runs body(i) for i in [0, count) across the pool and blocks until all
+  // iterations complete. Exceptions from tasks are rethrown on the caller
+  // thread (first one wins). Safe to call with count == 0.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  // Global pool shared by the simulators (sized to hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::shared_ptr<Batch> current_;  // guarded by mu_
+  std::uint64_t generation_ = 0;    // guarded by mu_
+  bool shutdown_ = false;           // guarded by mu_
+};
+
+}  // namespace ampccut

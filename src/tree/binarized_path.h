@@ -1,0 +1,258 @@
+// Closed-form index arithmetic on binarized paths (Definition 5).
+//
+// A binarized path of a heavy path with L vertices is the heap-shaped
+// ("almost complete", Observation 3) binary tree with 2L-1 nodes whose L
+// leaves are the path vertices in pre-order = path order (top of the heavy
+// path first). Nodes are heap-indexed 1..2L-1 (children of i are 2i, 2i+1),
+// which makes every structural question pure arithmetic — this is what lets
+// the AMPC algorithm answer decomposition queries locally in O(1) rounds
+// (the paper leans on this in the proof of Lemma 10: positions "are functions
+// of only the length of the path and the position of v").
+//
+// Key facts implemented here (each brute-force-tested in tests/tree):
+//  * internal nodes are exactly 1..L-1; leaves exactly L..2L-1;
+//  * left-to-right (= pre-order) leaf order: the bottom layer first
+//    (indices 2^d .. 2^d+r-1 where d = floor(log2(2L-1)), r = 2L - 2^d),
+//    then the leaves of the layer above (indices L .. 2^d - 1);
+//  * the label rule of Algorithm 2 line 14 — "the highest ancestor u' such
+//    that the leaf is the leftmost descendant of u''s right child, else the
+//    leaf itself" — is "climb while left child; stop at the first right
+//    child": since leaf->u'.right must be an all-left path, the candidate is
+//    unique and is the parent of the first right-child ancestor.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace ampccut::binpath {
+
+using NodeId = std::uint64_t;
+
+inline std::uint64_t num_nodes(std::uint64_t leaves) {
+  REPRO_DCHECK(leaves >= 1);
+  return 2 * leaves - 1;
+}
+
+inline bool is_leaf(std::uint64_t leaves, NodeId x) { return x >= leaves; }
+
+inline NodeId parent(NodeId x) { return x >> 1; }
+inline NodeId left_child(NodeId x) { return 2 * x; }
+inline NodeId right_child(NodeId x) { return 2 * x + 1; }
+inline bool is_left_child(NodeId x) { return x != 1 && (x & 1) == 0; }
+inline bool is_right_child(NodeId x) { return x != 1 && (x & 1) == 1; }
+
+// Depth within the binarized path; the root has depth 1.
+inline std::uint32_t depth(NodeId x) {
+  REPRO_DCHECK(x >= 1);
+  return floor_log2(x) + 1;
+}
+
+// Max depth of the tree (Observation 3: floor(log2 L) + 1 for the leaf layer
+// count; expressed via the last node id).
+inline std::uint32_t height(std::uint64_t leaves) {
+  return depth(num_nodes(leaves));
+}
+
+// Heap index of the pre-order j-th leaf (0-based j).
+inline NodeId leaf_index(std::uint64_t leaves, std::uint64_t j) {
+  REPRO_DCHECK(j < leaves);
+  const std::uint64_t total = num_nodes(leaves);
+  const std::uint32_t d = floor_log2(total);
+  const std::uint64_t bottom = 2 * leaves - (1ull << d);  // bottom-layer size
+  return j < bottom ? (1ull << d) + j : leaves + (j - bottom);
+}
+
+// Inverse of leaf_index: pre-order position of a leaf node.
+inline std::uint64_t leaf_position(std::uint64_t leaves, NodeId x) {
+  REPRO_DCHECK(is_leaf(leaves, x));
+  const std::uint64_t total = num_nodes(leaves);
+  const std::uint32_t d = floor_log2(total);
+  const std::uint64_t bottom = 2 * leaves - (1ull << d);
+  return x >= (1ull << d) ? x - (1ull << d) : bottom + (x - leaves);
+}
+
+// Leftmost / rightmost leaf of the subtree rooted at x.
+inline NodeId leftmost_leaf(std::uint64_t leaves, NodeId x) {
+  while (!is_leaf(leaves, x)) x = left_child(x);
+  return x;
+}
+inline NodeId rightmost_leaf(std::uint64_t leaves, NodeId x) {
+  while (!is_leaf(leaves, x)) x = right_child(x);
+  return x;
+}
+
+// The label of a leaf, as a depth within this binarized path (the caller
+// offsets by the expanded-meta-tree base depth). Implements Algorithm 2
+// line 14: climb while the current node is a left child; if a right child is
+// reached its parent is u', otherwise (reached the root) u' is the leaf.
+inline std::uint32_t leaf_label(std::uint64_t leaves, NodeId leaf) {
+  REPRO_DCHECK(is_leaf(leaves, leaf));
+  NodeId cur = leaf;
+  while (is_left_child(cur)) cur = parent(cur);
+  if (cur == 1) return depth(leaf);
+  return depth(parent(cur));
+}
+
+// Label of the pre-order j-th leaf.
+inline std::uint32_t label_at(std::uint64_t leaves, std::uint64_t j) {
+  return leaf_label(leaves, leaf_index(leaves, j));
+}
+
+// Label of the leftmost leaf of the subtree rooted at x. The all-left climb
+// from that leaf passes through x, so the answer only depends on x's own
+// continued climb (or the leaf's own depth when the climb exits at the root).
+inline std::uint32_t leftmost_leaf_label(std::uint64_t leaves, NodeId x) {
+  const NodeId leaf = leftmost_leaf(leaves, x);
+  return leaf_label(leaves, leaf);
+}
+
+// Minimum label over the leaves of the subtree rooted at x. Every non-
+// leftmost leaf stops its climb at an internal node of the subtree, and every
+// internal node u of the subtree labels exactly one leaf inside with
+// depth(u); depths {depth(x), depth(x)+1, ...} are all realized, so the
+// internal minimum is depth(x). The leftmost leaf's label may be smaller
+// (it escapes the subtree).
+inline std::uint32_t min_label_in_subtree(std::uint64_t leaves, NodeId x) {
+  const std::uint32_t escape = leftmost_leaf_label(leaves, x);
+  if (is_leaf(leaves, x)) return escape;
+  return escape < depth(x) ? escape : depth(x);
+}
+
+inline constexpr std::uint64_t kNoPosition = static_cast<std::uint64_t>(-1);
+
+namespace detail {
+
+// Rightmost leaf with label < bound in the subtree rooted at x; kNoPosition
+// when none. O(log^2 L).
+inline NodeId rightmost_leaf_with_label_below(std::uint64_t leaves, NodeId x,
+                                              std::uint32_t bound) {
+  if (min_label_in_subtree(leaves, x) >= bound) return kNoPosition;
+  while (!is_leaf(leaves, x)) {
+    const NodeId r = right_child(x);
+    if (min_label_in_subtree(leaves, r) < bound) {
+      x = r;
+    } else {
+      x = left_child(x);
+      REPRO_DCHECK(min_label_in_subtree(leaves, x) < bound);
+    }
+  }
+  return x;
+}
+
+// Leftmost leaf with label < bound in the subtree rooted at x.
+inline NodeId leftmost_leaf_with_label_below(std::uint64_t leaves, NodeId x,
+                                             std::uint32_t bound) {
+  if (min_label_in_subtree(leaves, x) >= bound) return kNoPosition;
+  while (!is_leaf(leaves, x)) {
+    const NodeId l = left_child(x);
+    if (min_label_in_subtree(leaves, l) < bound) {
+      x = l;
+    } else {
+      x = right_child(x);
+      REPRO_DCHECK(min_label_in_subtree(leaves, x) < bound);
+    }
+  }
+  return x;
+}
+
+}  // namespace detail
+
+// Nearest pre-order position strictly left of `pos` whose leaf label is
+// < bound; kNoPosition when no such leaf exists. O(log^2 L) local arithmetic.
+inline std::uint64_t nearest_smaller_left(std::uint64_t leaves,
+                                          std::uint64_t pos,
+                                          std::uint32_t bound) {
+  NodeId cur = leaf_index(leaves, pos);
+  while (cur != 1) {
+    if (is_right_child(cur)) {
+      const NodeId sib = cur - 1;  // left sibling: leaves strictly left of pos
+      const NodeId hit =
+          detail::rightmost_leaf_with_label_below(leaves, sib, bound);
+      if (hit != kNoPosition) return leaf_position(leaves, hit);
+    }
+    cur = parent(cur);
+  }
+  return kNoPosition;
+}
+
+// Nearest pre-order position strictly right of `pos` with leaf label < bound.
+inline std::uint64_t nearest_smaller_right(std::uint64_t leaves,
+                                           std::uint64_t pos,
+                                           std::uint32_t bound) {
+  NodeId cur = leaf_index(leaves, pos);
+  while (cur != 1) {
+    if (is_left_child(cur)) {
+      const NodeId sib = cur + 1;  // right sibling: leaves strictly right
+      const NodeId hit =
+          detail::leftmost_leaf_with_label_below(leaves, sib, bound);
+      if (hit != kNoPosition) return leaf_position(leaves, hit);
+    }
+    cur = parent(cur);
+  }
+  return kNoPosition;
+}
+
+// Position and label of a minimum-label leaf within pre-order positions
+// [lo, hi] (inclusive). Unique when the minimum equals the level being
+// queried (Definition 1); ties otherwise resolve to the leftmost.
+struct RangeMinLabel {
+  std::uint64_t pos = kNoPosition;
+  std::uint32_t label = 0;
+};
+
+RangeMinLabel min_label_in_range(std::uint64_t leaves, std::uint64_t lo,
+                                 std::uint64_t hi);
+
+namespace detail {
+
+// Best (min-label, then leftmost) leaf in the subtree rooted at x, O(log L):
+// candidates are the leftmost leaf (escaping label) and the leaf labeled
+// depth(x) (the leftmost leaf of x's right child) when x is internal.
+inline RangeMinLabel best_leaf_of_subtree(std::uint64_t leaves, NodeId x) {
+  const NodeId lml = leftmost_leaf(leaves, x);
+  RangeMinLabel best{leaf_position(leaves, lml), leaf_label(leaves, lml)};
+  if (!is_leaf(leaves, x)) {
+    const NodeId owned = leftmost_leaf(leaves, right_child(x));
+    const std::uint32_t d = depth(x);
+    if (d < best.label) {
+      best = {leaf_position(leaves, owned), d};
+    }
+  }
+  return best;
+}
+
+inline void min_label_in_range_rec(std::uint64_t leaves, NodeId x,
+                                   std::uint64_t x_lo, std::uint64_t x_hi,
+                                   std::uint64_t lo, std::uint64_t hi,
+                                   RangeMinLabel& best) {
+  if (x_hi < lo || x_lo > hi) return;
+  if (lo <= x_lo && x_hi <= hi) {
+    const RangeMinLabel cand = best_leaf_of_subtree(leaves, x);
+    if (best.pos == kNoPosition || cand.label < best.label ||
+        (cand.label == best.label && cand.pos < best.pos)) {
+      best = cand;
+    }
+    return;
+  }
+  REPRO_DCHECK(!is_leaf(leaves, x));
+  const NodeId l = left_child(x);
+  const NodeId r = right_child(x);
+  const std::uint64_t l_hi = leaf_position(leaves, rightmost_leaf(leaves, l));
+  min_label_in_range_rec(leaves, l, x_lo, l_hi, lo, hi, best);
+  min_label_in_range_rec(leaves, r, l_hi + 1, x_hi, lo, hi, best);
+}
+
+}  // namespace detail
+
+inline RangeMinLabel min_label_in_range(std::uint64_t leaves, std::uint64_t lo,
+                                        std::uint64_t hi) {
+  REPRO_DCHECK(lo <= hi && hi < leaves);
+  RangeMinLabel best;
+  detail::min_label_in_range_rec(leaves, 1, 0, leaves - 1, lo, hi, best);
+  REPRO_DCHECK(best.pos != kNoPosition);
+  return best;
+}
+
+}  // namespace ampccut::binpath

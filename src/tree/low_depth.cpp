@@ -1,0 +1,128 @@
+#include "tree/low_depth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/union_find.h"
+#include "support/check.h"
+#include "tree/binarized_path.h"
+
+namespace ampccut {
+
+LowDepthDecomposition build_low_depth_decomposition(const RootedTree& t,
+                                                    const HeavyLight& hl) {
+  LowDepthDecomposition d;
+  const VertexId n = t.n;
+  d.label.assign(n, 0);
+  d.leaf_depth.assign(n, 0);
+  d.path_id = hl.path_id;
+  d.pos_in_path = hl.pos_in_path;
+  const std::uint32_t num_paths = hl.num_paths();
+  d.path_len.assign(num_paths, 0);
+  d.path_attach.assign(num_paths, kInvalidVertex);
+  d.base_depth.assign(num_paths, 0);
+  for (std::uint32_t p = 0; p < num_paths; ++p) {
+    d.path_len[p] = static_cast<std::uint32_t>(hl.paths[p].size());
+    const VertexId head = hl.paths[p].front();
+    d.path_attach[p] = t.is_root(head) ? kInvalidVertex : t.parent[head];
+  }
+
+  // Base depths top-down: the binarized root of a child path hangs below the
+  // attachment vertex's *leaf* node in the parent path's binarized tree.
+  // t.order is BFS order, so parents' paths are resolved before children's;
+  // resolve path p when visiting its head.
+  for (const VertexId v : t.order) {
+    const std::uint32_t p = d.path_id[v];
+    if (hl.paths[p].front() != v) continue;  // only heads trigger resolution
+    const VertexId attach = d.path_attach[p];
+    if (attach == kInvalidVertex) {
+      d.base_depth[p] = 1;
+    } else {
+      REPRO_DCHECK(d.leaf_depth[attach] > 0);
+      d.base_depth[p] = d.leaf_depth[attach] + 1;
+    }
+    // Resolve every vertex of the path immediately (leaf depth + label).
+    const std::uint64_t len = d.path_len[p];
+    for (std::uint32_t j = 0; j < len; ++j) {
+      const VertexId u = hl.paths[p][j];
+      const auto leaf = binpath::leaf_index(len, j);
+      d.leaf_depth[u] = d.base_depth[p] + binpath::depth(leaf) - 1;
+      d.label[u] = d.base_depth[p] + binpath::leaf_label(len, leaf) - 1;
+    }
+  }
+
+  d.height = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    REPRO_CHECK_MSG(d.label[v] >= 1, "unlabeled vertex");
+    d.height = std::max(d.height, d.label[v]);
+  }
+  d.levels.assign(d.height + 1, {});
+  for (VertexId v = 0; v < n; ++v) d.levels[d.label[v]].push_back(v);
+  return d;
+}
+
+bool validate_low_depth_decomposition(const RootedTree& t,
+                                      const LowDepthDecomposition& d) {
+  const VertexId n = t.n;
+  for (std::uint32_t i = 1; i <= d.height; ++i) {
+    UnionFind uf(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (t.is_root(v)) continue;
+      const VertexId p = t.parent[v];
+      if (d.label[v] >= i && d.label[p] >= i) uf.unite(v, p);
+    }
+    std::unordered_map<VertexId, std::uint32_t> level_count;
+    for (VertexId v = 0; v < n; ++v) {
+      if (d.label[v] != i) continue;
+      if (++level_count[uf.find(v)] > 1) return false;
+    }
+  }
+  return true;
+}
+
+DecompositionStats decomposition_stats(const RootedTree& t,
+                                       const HeavyLight& hl,
+                                       const LowDepthDecomposition& d) {
+  DecompositionStats s;
+  s.height = d.height;
+  s.num_paths = hl.num_paths();
+  // Light edges on root paths: count per vertex by walking heads via parent
+  // pointers — memoized along BFS order.
+  std::vector<std::uint32_t> light_above(t.n, 0);
+  for (const VertexId v : t.order) {
+    if (t.is_root(v)) continue;
+    const VertexId p = t.parent[v];
+    const bool is_light = t.heavy[p] != v;
+    light_above[v] = light_above[p] + (is_light ? 1u : 0u);
+    s.max_light_on_root_path = std::max(s.max_light_on_root_path,
+                                        light_above[v]);
+  }
+  // Boundary edges per component per level (Lemma 10): O(n * height).
+  for (std::uint32_t i = 1; i <= d.height; ++i) {
+    UnionFind uf(t.n);
+    std::uint64_t alive = 0;
+    for (VertexId v = 0; v < t.n; ++v) {
+      if (d.label[v] >= i) ++alive;
+      if (t.is_root(v)) continue;
+      const VertexId p = t.parent[v];
+      if (d.label[v] >= i && d.label[p] >= i) uf.unite(v, p);
+    }
+    s.sum_level_vertices += alive;
+    std::unordered_map<VertexId, std::uint32_t> boundary;
+    for (VertexId v = 0; v < t.n; ++v) {
+      if (t.is_root(v)) continue;
+      const VertexId p = t.parent[v];
+      const bool v_in = d.label[v] >= i;
+      const bool p_in = d.label[p] >= i;
+      if (v_in == p_in) continue;
+      const VertexId inside = v_in ? v : p;
+      ++boundary[uf.find(inside)];
+    }
+    for (const auto& [root, cnt] : boundary) {
+      s.max_boundary_edges = std::max(s.max_boundary_edges, cnt);
+    }
+  }
+  return s;
+}
+
+}  // namespace ampccut

@@ -1,0 +1,67 @@
+// Generalized low-depth tree decomposition (Definition 1, Algorithm 2).
+//
+// Produces a labeling l : V -> [h], h = O(log^2 n), such that for every level
+// i the connected components induced on {v : l(v) >= i} contain at most one
+// vertex with label exactly i. Construction: heavy-light decomposition ->
+// meta tree (heavy paths contracted, Definition 4) -> binarized paths
+// (Definition 5) -> labels = depths of climb-stop nodes in the expanded meta
+// tree (Section 3.4).
+//
+// The struct retains the per-path geometry (lengths, positions, expanded base
+// depths, attachment vertices) because the singleton-cut machinery of
+// Section 4 navigates components *arithmetically* through this geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/hld.h"
+
+namespace ampccut {
+
+struct LowDepthDecomposition {
+  // The decomposition labeling; labels start at 1. height == max label.
+  std::vector<std::uint32_t> label;
+  std::uint32_t height = 0;
+
+  // Geometry reused by the Section 4 machinery -----------------------------
+  // Heavy-light data (copied views; path order is top-down).
+  std::vector<std::uint32_t> path_id;
+  std::vector<std::uint32_t> pos_in_path;
+  std::vector<std::uint32_t> path_len;        // per path id
+  std::vector<VertexId> path_attach;          // parent(head) per path id;
+                                              // kInvalidVertex for the root
+  // Expanded-meta-tree depth of each path's binarized root (root path: 1).
+  std::vector<std::uint32_t> base_depth;      // per path id
+  // Expanded depth of each vertex's own leaf node (>= label[v]).
+  std::vector<std::uint32_t> leaf_depth;      // per vertex
+
+  // Vertices bucketed by label (levels[i] = vertices with label i); index 0
+  // is unused so levels[i] matches level i.
+  std::vector<std::vector<VertexId>> levels;
+};
+
+// Requires a valid rooted tree + its heavy-light decomposition.
+LowDepthDecomposition build_low_depth_decomposition(const RootedTree& t,
+                                                    const HeavyLight& hl);
+
+// Checks Definition 1 directly: for every level i, each connected component
+// of the forest induced on {v : l(v) >= i} has at most one vertex labeled i.
+// O(n * height); test/bench utility. Returns true when valid.
+bool validate_low_depth_decomposition(const RootedTree& t,
+                                      const LowDepthDecomposition& d);
+
+// Structural statistics backing Observation 1/6 and Lemma 10 benches.
+struct DecompositionStats {
+  std::uint32_t height = 0;             // max label
+  std::uint32_t num_paths = 0;          // heavy paths (= meta vertices)
+  std::uint32_t max_light_on_root_path = 0;  // light edges on any v->root path
+  std::uint32_t max_boundary_edges = 0;      // over all levels & components
+  std::uint64_t sum_level_vertices = 0;      // total work across levels
+};
+
+DecompositionStats decomposition_stats(const RootedTree& t,
+                                       const HeavyLight& hl,
+                                       const LowDepthDecomposition& d);
+
+}  // namespace ampccut

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ampc_algo/kcut_ampc.h"
+#include "ampc_algo/mincut_ampc.h"
+#include "exact/brute_force.h"
+#include "exact/stoer_wagner.h"
+#include "graph/generators.h"
+
+namespace ampccut::ampc {
+namespace {
+
+AmpcMinCutOptions fast_opts(std::uint64_t seed) {
+  AmpcMinCutOptions o;
+  o.recursion.seed = seed;
+  o.recursion.trials = 1;
+  o.recursion.local_threshold = 20;
+  return o;
+}
+
+TEST(AmpcMinCut, ValidAndNearExactOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const WGraph g = gen_erdos_renyi(60, 0.12, seed);
+    const auto r = ampc_approx_min_cut(g, fast_opts(seed));
+    EXPECT_EQ(cut_weight(g, r.side), r.weight);
+    const auto exact = stoer_wagner_min_cut(g);
+    EXPECT_GE(r.weight, exact.weight);
+    EXPECT_LE(static_cast<double>(r.weight),
+              2.9 * static_cast<double>(exact.weight) + 1e-9);
+  }
+}
+
+TEST(AmpcMinCut, FindsPlantedBridge) {
+  const WGraph g = gen_planted_cut(60, 0.35, 2, 4);
+  const auto r = ampc_approx_min_cut(g, fast_opts(4));
+  EXPECT_EQ(r.weight, stoer_wagner_min_cut(g).weight);
+}
+
+TEST(AmpcMinCut, MatchesSequentialBackendValue) {
+  // Same seeds -> same contraction orders -> the AMPC and sequential
+  // backends compute the same function.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const WGraph g = gen_erdos_renyi(50, 0.15, seed + 11);
+    const AmpcMinCutOptions o = fast_opts(seed);
+    const auto ampc_r = ampc_approx_min_cut(g, o);
+    const auto seq_r = approx_min_cut(g, o.recursion);
+    EXPECT_EQ(ampc_r.weight, seq_r.weight) << "seed " << seed;
+  }
+}
+
+TEST(AmpcMinCut, ReportsRoundsPerLevel) {
+  const WGraph g = gen_random_connected(400, 1200, 3);
+  const auto r = ampc_approx_min_cut(g, fast_opts(3));
+  EXPECT_GT(r.levels_used, 0u);
+  EXPECT_GT(r.measured_rounds, 0u);
+  EXPECT_GT(r.charged_rounds, 0u);
+  EXPECT_GT(r.model_rounds(), r.measured_rounds);
+  EXPECT_GT(r.dht_reads, 0u);
+  // Rounds scale with levels (log log n), far below log2(n) * levels.
+  EXPECT_LT(r.model_rounds(), 120u * r.levels_used);
+}
+
+TEST(AmpcMinCut, DisconnectedShortCircuits) {
+  const WGraph g = gen_two_cycles(24);
+  const auto r = ampc_approx_min_cut(g, fast_opts(1));
+  EXPECT_EQ(r.weight, 0u);
+  EXPECT_EQ(r.model_rounds(), 0u);  // no tracker calls needed
+}
+
+TEST(AmpcKCut, WithinBoundAndCountsRounds) {
+  const WGraph g = gen_communities(36, 3, 0.6, 2, 5);
+  AmpcMinCutOptions o = fast_opts(5);
+  const auto r = ampc_apx_split_k_cut(g, 3, o);
+  EXPECT_GE(r.result.num_parts, 3u);
+  EXPECT_EQ(k_cut_weight(g, r.result.part), r.result.weight);
+  EXPECT_LE(r.result.weight, 8u);  // 6 bridges optimal-ish, generous cap
+  EXPECT_GT(r.model_rounds(), 0u);
+  EXPECT_EQ(r.result.iterations, 2u);
+}
+
+TEST(AmpcKCut, ApproxFactorOnSmallGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const WGraph g = gen_erdos_renyi(10, 0.5, seed + 33);
+    for (std::uint32_t k = 2; k <= 3; ++k) {
+      const auto r = ampc_apx_split_k_cut(g, k, fast_opts(seed));
+      const auto exact = brute_force_min_k_cut(g, k);
+      EXPECT_LE(static_cast<double>(r.result.weight),
+                4.9 * static_cast<double>(exact.weight) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ampccut::ampc

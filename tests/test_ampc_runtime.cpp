@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ampc/runtime.h"
+
+namespace ampccut::ampc {
+namespace {
+
+Config small_config() {
+  Config c = Config::for_problem(1 << 12, 0.5);
+  return c;
+}
+
+TEST(AmpcConfig, MachineMemoryFollowsEps) {
+  const Config c = Config::for_problem(1 << 20, 0.5);
+  EXPECT_EQ(c.machine_memory_words, 1u << 10);
+  const Config tight = Config::for_problem(1 << 20, 0.25);
+  EXPECT_EQ(tight.machine_memory_words, 64u);  // clamped lower bound
+  EXPECT_EQ(c.num_machines(1 << 20), 1u << 10);
+}
+
+TEST(AmpcRuntime, CountsRounds) {
+  Runtime rt(small_config());
+  rt.round("a", 4, [](MachineContext&) {});
+  rt.round("b", 2, [](MachineContext&) {});
+  rt.charge_rounds("cited", 3);
+  EXPECT_EQ(rt.metrics().rounds, 2u);
+  EXPECT_EQ(rt.metrics().charged_rounds, 3u);
+  EXPECT_EQ(rt.metrics().model_rounds(), 5u);
+  EXPECT_EQ(rt.metrics().rounds_by_label.at("a"), 1u);
+}
+
+TEST(AmpcRuntime, WritesInvisibleUntilBarrier) {
+  Runtime rt(small_config());
+  Table<std::uint64_t, std::uint64_t> t(rt, "t");
+  rt.round("write", 1, [&](MachineContext&) {
+    t.put(7, 42);
+    // AMPC semantics: the write targets the NEXT round's hash table.
+    EXPECT_FALSE(t.get(7).has_value());
+  });
+  // After the barrier the value is visible.
+  rt.round("read", 1, [&](MachineContext&) {
+    ASSERT_TRUE(t.get(7).has_value());
+    EXPECT_EQ(*t.get(7), 42u);
+  });
+}
+
+TEST(AmpcRuntime, MergePolicies) {
+  Runtime rt(small_config());
+  Table<std::uint64_t, std::uint64_t> tmin(rt, "min", Merge::kMin);
+  Table<std::uint64_t, std::uint64_t> tsum(rt, "sum", Merge::kSum);
+  rt.round("w", 8, [&](MachineContext& ctx) {
+    tmin.put(1, 100 + ctx.machine_id());
+    tsum.put(1, 1);
+  });
+  EXPECT_EQ(tmin.at(1), 100u);
+  EXPECT_EQ(tsum.at(1), 8u);
+}
+
+TEST(AmpcRuntime, DenseTableStagedWrites) {
+  Runtime rt(small_config());
+  DenseTable<std::uint64_t> t(rt, "d", 16, 5);
+  rt.round("w", 4, [&](MachineContext& ctx) {
+    EXPECT_EQ(t.get(ctx.machine_id()), 5u);
+    t.put(ctx.machine_id(), ctx.machine_id() * 10);
+  });
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(t.raw(i), i * 10);
+  for (std::uint64_t i = 4; i < 16; ++i) EXPECT_EQ(t.raw(i), 5u);
+}
+
+TEST(AmpcRuntime, TracksTrafficPerMachine) {
+  Runtime rt(small_config());
+  DenseTable<std::uint64_t> t(rt, "d", 64, 1);
+  rt.round("r", 2, [&](MachineContext& ctx) {
+    if (ctx.machine_id() == 0) {
+      for (int i = 0; i < 10; ++i) (void)t.get(i);
+    } else {
+      (void)t.get(0);
+    }
+  });
+  EXPECT_EQ(rt.metrics().dht_reads, 11u);
+  EXPECT_EQ(rt.metrics().max_machine_traffic, 10u);
+}
+
+TEST(AmpcRuntime, BudgetViolationsRecorded) {
+  Config c = small_config();
+  c.machine_memory_words = 4;
+  Runtime rt(c);
+  DenseTable<std::uint64_t> t(rt, "d", 64, 1);
+  rt.round("r", 1, [&](MachineContext&) {
+    for (int i = 0; i < 10; ++i) (void)t.get(i);  // 10 > 4 budget
+  });
+  EXPECT_EQ(rt.metrics().budget_violations.load(), 1u);
+}
+
+TEST(AmpcRuntime, RoundOverItemsChunksByMemory) {
+  Config c = small_config();
+  c.machine_memory_words = 8;
+  Runtime rt(c);
+  std::atomic<std::uint64_t> total{0};
+  rt.round_over_items("items", 30, [&](MachineContext&, std::uint64_t i) {
+    total.fetch_add(i);
+  });
+  EXPECT_EQ(total.load(), 29u * 30 / 2);
+  EXPECT_EQ(rt.metrics().rounds, 1u);
+}
+
+TEST(AmpcRuntime, PeakTableWordsTracked) {
+  Runtime rt(small_config());
+  {
+    DenseTable<std::uint64_t> t(rt, "d", 1000);
+    rt.round("noop", 1, [](MachineContext&) {});
+  }
+  EXPECT_GE(rt.metrics().peak_table_words, 1000u);
+}
+
+}  // namespace
+}  // namespace ampccut::ampc

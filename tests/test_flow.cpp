@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "exact/stoer_wagner.h"
+#include "flow/dinic.h"
+#include "flow/gomory_hu.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace ampccut {
+namespace {
+
+TEST(Dinic, PathCapacityIsBottleneck) {
+  WGraph g;
+  g.n = 4;
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 7);
+  EXPECT_EQ(st_min_cut(g, 0, 3), 2u);
+}
+
+TEST(Dinic, MinCutSideSeparates) {
+  WGraph g = gen_planted_cut(30, 0.6, 2, 5);
+  Dinic d(g.n);
+  for (const auto& e : g.edges) d.add_undirected_edge(e.u, e.v, e.w);
+  const Weight f = d.max_flow(0, 29);
+  const auto side = d.min_cut_side();
+  EXPECT_EQ(side[0], 1);
+  EXPECT_EQ(side[29], 0);
+  EXPECT_EQ(cut_weight(g, side), f);
+}
+
+TEST(Dinic, ReusableAcrossPairs) {
+  const WGraph g = gen_erdos_renyi(20, 0.3, 3);
+  Dinic d(g.n);
+  for (const auto& e : g.edges) d.add_undirected_edge(e.u, e.v, e.w);
+  // Run several pairs twice; results must be identical after capacity reset.
+  for (VertexId t = 1; t < 6; ++t) {
+    const Weight f1 = d.max_flow(0, t);
+    const Weight f2 = d.max_flow(0, t);
+    EXPECT_EQ(f1, f2);
+  }
+}
+
+TEST(Dinic, MatchesBruteForceStCut) {
+  Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    WGraph g = gen_erdos_renyi(9, 0.5, trial);
+    randomize_weights(g, 6, trial + 50);
+    // Brute-force the s-t min cut: enumerate sides with s=0 fixed.
+    const VertexId t = 8;
+    Weight best = kInfiniteWeight;
+    for (std::uint32_t mask = 0; mask < (1u << 8); ++mask) {
+      std::vector<std::uint8_t> side(9, 0);
+      side[0] = 1;
+      for (int v = 1; v < 9; ++v) side[v] = (mask >> (v - 1)) & 1u;
+      if (side[t]) continue;
+      best = std::min(best, cut_weight(g, side));
+    }
+    EXPECT_EQ(st_min_cut(g, 0, t), best) << "trial " << trial;
+  }
+}
+
+TEST(GomoryHu, TreeEncodesAllPairs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    WGraph g = gen_erdos_renyi(12, 0.4, seed);
+    randomize_weights(g, 5, seed + 9);
+    const GomoryHuTree tree = build_gomory_hu(g);
+    Rng rng(seed);
+    for (int q = 0; q < 20; ++q) {
+      const auto s = static_cast<VertexId>(rng.next_below(g.n));
+      auto t = static_cast<VertexId>(rng.next_below(g.n));
+      if (s == t) t = (t + 1) % g.n;
+      EXPECT_EQ(tree.min_cut(s, t), st_min_cut(g, s, t))
+          << "seed " << seed << " pair " << s << "," << t;
+    }
+  }
+}
+
+TEST(GomoryHu, LightestTreeEdgeIsGlobalMinCut) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    WGraph g = gen_erdos_renyi(14, 0.35, seed);
+    randomize_weights(g, 7, seed + 31);
+    const GomoryHuTree tree = build_gomory_hu(g);
+    Weight lightest = kInfiniteWeight;
+    for (VertexId v = 1; v < g.n; ++v)
+      lightest = std::min(lightest, tree.parent_cut_weight[v]);
+    EXPECT_EQ(lightest, stoer_wagner_min_cut(g).weight);
+  }
+}
+
+TEST(GomoryHuKCut, ApproximationGuarantee) {
+  // Theorem 6: the GH k-cut is a (2 - 2/k)-approximation.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const WGraph g = gen_erdos_renyi(9, 0.5, seed);
+    for (std::uint32_t k = 2; k <= 4; ++k) {
+      const auto gh = gomory_hu_k_cut(g, k);
+      const auto exact = brute_force_min_k_cut(g, k);
+      EXPECT_EQ(k_cut_weight(g, gh.part), gh.weight);
+      // At least k parts.
+      std::uint32_t parts =
+          *std::max_element(gh.part.begin(), gh.part.end()) + 1;
+      EXPECT_GE(parts, k);
+      EXPECT_LE(gh.weight, exact.weight * 2u);
+      EXPECT_GE(gh.weight, exact.weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ampccut

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace ampccut {
+namespace {
+
+TEST(Generators, ErdosRenyiConnectedAndValid) {
+  const WGraph g = gen_erdos_renyi(64, 0.1, 1);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.n, 64u);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const WGraph a = gen_erdos_renyi(50, 0.2, 9);
+  const WGraph b = gen_erdos_renyi(50, 0.2, 9);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+}
+
+TEST(Generators, RandomConnectedHasExactEdgeCount) {
+  const WGraph g = gen_random_connected(40, 100, 5);
+  g.validate();
+  EXPECT_EQ(g.m(), 100u);
+  EXPECT_TRUE(is_connected(g));
+  // Simple graph: no duplicate edges.
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& e : g.edges) {
+    auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(Generators, PlantedCutHasPlantedBridges) {
+  const WGraph g = gen_planted_cut(60, 0.5, 3, 7);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  // Exactly 3 edges cross the planted halves.
+  const VertexId half = 30;
+  std::size_t crossing = 0;
+  for (const auto& e : g.edges) {
+    if ((e.u < half) != (e.v < half)) ++crossing;
+  }
+  EXPECT_EQ(crossing, 3u);
+}
+
+TEST(Generators, CommunitiesStructure) {
+  const WGraph g = gen_communities(80, 4, 0.5, 2, 3);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.n, 80u);
+  // Exactly k * bridges crossing edges between communities.
+  std::size_t crossing = 0;
+  for (const auto& e : g.edges) {
+    if (e.u / 20 != e.v / 20) ++crossing;
+  }
+  EXPECT_EQ(crossing, 8u);
+}
+
+TEST(Generators, BarbellMinCutIsOne) {
+  const WGraph g = gen_barbell(20);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  std::size_t crossing = 0;
+  for (const auto& e : g.edges) {
+    if ((e.u < 10) != (e.v < 10)) ++crossing;
+  }
+  EXPECT_EQ(crossing, 1u);
+}
+
+TEST(Generators, CyclesAndComponents) {
+  EXPECT_TRUE(is_connected(gen_cycle(17)));
+  EXPECT_EQ(gen_cycle(17).m(), 17u);
+  const WGraph two = gen_two_cycles(20);
+  EXPECT_EQ(count_components(two), 2u);
+  EXPECT_EQ(two.m(), 20u);
+}
+
+TEST(Generators, GridAndComplete) {
+  const WGraph grid = gen_grid(4, 5);
+  EXPECT_EQ(grid.n, 20u);
+  EXPECT_EQ(grid.m(), 4u * 4 + 3u * 5);
+  EXPECT_TRUE(is_connected(grid));
+  const WGraph k5 = gen_complete(5);
+  EXPECT_EQ(k5.m(), 10u);
+}
+
+TEST(Generators, TreesAreTrees) {
+  for (const WGraph& t :
+       {gen_path(30), gen_star(30), gen_random_tree(30, 3),
+        gen_caterpillar(10, 2), gen_broom(30), gen_binary_tree(30)}) {
+    t.validate();
+    EXPECT_EQ(t.m(), t.n - 1) << "tree edge count";
+    EXPECT_TRUE(is_connected(t));
+  }
+}
+
+TEST(Generators, PreferentialAttachmentDegrees) {
+  const WGraph g = gen_preferential_attachment(100, 3, 1);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  // Every vertex past the seed clique contributes exactly d edges.
+  EXPECT_EQ(g.m(), 6u + 96u * 3u);
+}
+
+TEST(Generators, RandomizeWeightsInRange) {
+  WGraph g = gen_cycle(50);
+  randomize_weights(g, 10, 4);
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.w, 1u);
+    EXPECT_LE(e.w, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ampccut

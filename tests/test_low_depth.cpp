@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "support/bits.h"
+#include "support/rng.h"
+#include "tree/low_depth.h"
+
+namespace ampccut {
+namespace {
+
+struct Fixture {
+  RootedTree rt;
+  HeavyLight hl;
+  LowDepthDecomposition d;
+
+  explicit Fixture(const WGraph& g, std::uint64_t seed = 1) {
+    std::vector<TimeStep> times(g.edges.size());
+    for (std::size_t i = 0; i < times.size(); ++i)
+      times[i] = static_cast<TimeStep>(i + 1);
+    Rng rng(seed);
+    std::shuffle(times.begin(), times.end(), rng);
+    rt = build_rooted_tree(g.n, g.edges, times, 0);
+    hl = build_heavy_light(rt);
+    d = build_low_depth_decomposition(rt, hl);
+  }
+};
+
+TEST(LowDepth, PathOfFourMatchesHandComputation) {
+  // Worked example from the paper walk-through: path a-b-c-d gets labels
+  // 3,2,1,2 (a single heavy path, binarized into a 7-node tree).
+  const Fixture f(gen_path(4));
+  EXPECT_EQ(f.d.label[0], 3u);
+  EXPECT_EQ(f.d.label[1], 2u);
+  EXPECT_EQ(f.d.label[2], 1u);
+  EXPECT_EQ(f.d.label[3], 2u);
+  EXPECT_EQ(f.d.height, 3u);
+}
+
+TEST(LowDepth, SingleVertexAndEdge) {
+  const Fixture one(gen_path(1));
+  EXPECT_EQ(one.d.label[0], 1u);
+  const Fixture two(gen_path(2));
+  EXPECT_EQ(two.d.height, 2u);
+  // The child of the root is labeled 1 (it splits first), the root 2.
+  EXPECT_EQ(two.d.label[1], 1u);
+  EXPECT_EQ(two.d.label[0], 2u);
+}
+
+TEST(LowDepth, ValidOnTreeFamilies) {
+  for (const WGraph& g :
+       {gen_path(100), gen_star(100), gen_broom(100), gen_caterpillar(25, 3),
+        gen_binary_tree(127), gen_random_tree(150, 3),
+        gen_random_tree(150, 4)}) {
+    const Fixture f(g);
+    EXPECT_TRUE(validate_low_depth_decomposition(f.rt, f.d))
+        << "n=" << g.n << " family failed Definition 1";
+  }
+}
+
+TEST(LowDepth, ValidOnManyRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const VertexId n = 2 + static_cast<VertexId>(seed * 7 % 120);
+    const Fixture f(gen_random_tree(n, seed), seed);
+    ASSERT_TRUE(validate_low_depth_decomposition(f.rt, f.d)) << "seed " << seed;
+  }
+}
+
+TEST(LowDepth, HeightIsPolylog) {
+  // Lemma 3 / Observation 6: height O(log^2 n). Check a generous constant.
+  for (const VertexId n : {64u, 256u, 1024u, 4096u}) {
+    for (const WGraph& g :
+         {gen_path(n), gen_random_tree(n, 5), gen_broom(n)}) {
+      const Fixture f(g);
+      const double lg = std::log2(static_cast<double>(n));
+      EXPECT_LE(f.d.height, static_cast<std::uint32_t>(lg * lg + 2 * lg + 2))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(LowDepth, PathHeightIsSingleLog) {
+  // A path is one heavy path: height = depth of one binarized path.
+  const Fixture f(gen_path(1024));
+  EXPECT_LE(f.d.height, 12u);
+}
+
+TEST(LowDepth, LabelsBoundedByLeafDepth) {
+  const Fixture f(gen_random_tree(300, 8));
+  for (VertexId v = 0; v < 300; ++v) {
+    EXPECT_GE(f.d.label[v], 1u);
+    EXPECT_LE(f.d.label[v], f.d.leaf_depth[v]);
+  }
+}
+
+TEST(LowDepth, LevelsPartitionVertices) {
+  const Fixture f(gen_random_tree(200, 9));
+  std::size_t total = 0;
+  for (std::uint32_t i = 1; i <= f.d.height; ++i) {
+    for (const VertexId v : f.d.levels[i]) {
+      EXPECT_EQ(f.d.label[v], i);
+    }
+    total += f.d.levels[i].size();
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(LowDepth, StatsRespectLemma10) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const WGraph g = gen_random_tree(150, seed);
+    const Fixture f(g, seed);
+    const auto stats = decomposition_stats(f.rt, f.hl, f.d);
+    EXPECT_LE(stats.max_boundary_edges, 2u) << "Lemma 10 violated, seed " << seed;
+    EXPECT_EQ(stats.height, f.d.height);
+    EXPECT_LE(stats.max_light_on_root_path, floor_log2(g.n) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace ampccut

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exact/brute_force.h"
+#include "exact/stoer_wagner.h"
+#include "graph/generators.h"
+#include "mpc/gn_baseline.h"
+#include "mpc/primitives.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace ampccut::mpc {
+namespace {
+
+TEST(MpcRuntime, DeliversMessagesNextRound) {
+  Runtime rt(Config{}, 4);
+  rt.round("send", [](std::uint64_t m, const std::vector<Message>& inbox,
+                      const std::function<void(Message)>& send) {
+    EXPECT_TRUE(inbox.empty());
+    send({(m + 1) % 4, {m}});
+  });
+  rt.round("recv", [](std::uint64_t m, const std::vector<Message>& inbox,
+                      const std::function<void(Message)>&) {
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_EQ(inbox[0].payload[0], (m + 3) % 4);
+  });
+  EXPECT_EQ(rt.metrics().rounds, 2u);
+  EXPECT_EQ(rt.metrics().messages, 8u);  // 4 messages x (1 word + header)
+}
+
+TEST(MpcListRank, MatchesSuffixSums) {
+  const std::uint64_t n = 500;
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(3);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<std::uint64_t> next(n, kNoNext);
+  for (std::uint64_t k = 0; k + 1 < n; ++k) next[order[k]] = order[k + 1];
+  std::vector<std::int64_t> vals(n);
+  for (auto& v : vals) v = static_cast<std::int64_t>(rng.next_below(9)) - 4;
+
+  Runtime rt(Config{}, 16);
+  const auto rank = mpc_list_rank(rt, next, vals);
+  std::int64_t suffix = 0;
+  for (std::uint64_t k = n; k-- > 0;) {
+    suffix += vals[order[k]];
+    EXPECT_EQ(rank[order[k]], suffix);
+  }
+  // Theta(log n) doubling steps, 3 rounds each.
+  EXPECT_GE(rt.metrics().rounds, 2u * ceil_log2(n));
+}
+
+TEST(MpcListRank, RoundsGrowWithLogN) {
+  std::uint64_t small = 0, large = 0;
+  {
+    Runtime rt(Config{}, 8);
+    std::vector<std::uint64_t> next(1 << 6, kNoNext);
+    for (std::uint64_t i = 0; i + 1 < next.size(); ++i) next[i] = i + 1;
+    (void)mpc_list_rank(rt, next, std::vector<std::int64_t>(1 << 6, 1));
+    small = rt.metrics().rounds;
+  }
+  {
+    Runtime rt(Config{}, 8);
+    std::vector<std::uint64_t> next(1 << 12, kNoNext);
+    for (std::uint64_t i = 0; i + 1 < next.size(); ++i) next[i] = i + 1;
+    (void)mpc_list_rank(rt, next, std::vector<std::int64_t>(1 << 12, 1));
+    large = rt.metrics().rounds;
+  }
+  // log grew by 6 doubling steps -> >= 12 extra rounds. This is the
+  // separation AMPC removes (test_ampc_primitives asserts flatness there).
+  EXPECT_GE(large, small + 12);
+}
+
+TEST(MpcComponents, CorrectOnCyclesAndForests) {
+  {
+    Runtime rt(Config{}, 8);
+    const auto label = mpc_components(rt, gen_two_cycles(40));
+    for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(label[v], 0u);
+    for (VertexId v = 20; v < 40; ++v) EXPECT_EQ(label[v], 20u);
+  }
+  {
+    Runtime rt(Config{}, 8);
+    const auto label = mpc_components(rt, gen_cycle(64));
+    for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(label[v], 0u);
+  }
+}
+
+TEST(MpcMsf, MatchesKruskal) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const WGraph g = gen_erdos_renyi(50, 0.15, seed);
+    const ContractionOrder o = make_contraction_order(g, seed + 4);
+    Runtime rt(Config{}, 16);
+    EXPECT_EQ(mpc_msf_boruvka(rt, g, o), msf_edges_by_time(g, o))
+        << "seed " << seed;
+  }
+}
+
+TEST(GnBaseline, CutQualityMatchesSequential) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const WGraph g = gen_erdos_renyi(50, 0.15, seed + 21);
+    MpcMinCutOptions o;
+    o.recursion.seed = seed;
+    o.recursion.trials = 1;
+    o.recursion.local_threshold = 20;
+    const auto r = mpc_gn_min_cut(g, o);
+    EXPECT_EQ(cut_weight(g, r.side), r.weight);
+    EXPECT_EQ(r.weight, approx_min_cut(g, o.recursion).weight);
+    EXPECT_GT(r.rounds, 0u);
+  }
+}
+
+TEST(GnBaseline, KCutRunsAndCounts) {
+  const WGraph g = gen_communities(30, 3, 0.6, 2, 7);
+  MpcMinCutOptions o;
+  o.recursion.seed = 7;
+  o.recursion.trials = 1;
+  o.recursion.local_threshold = 16;
+  const auto r = mpc_gn_k_cut(g, 3, o);
+  EXPECT_GE(r.result.num_parts, 3u);
+  EXPECT_EQ(k_cut_weight(g, r.result.part), r.result.weight);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace ampccut::mpc

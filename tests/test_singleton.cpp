@@ -1,0 +1,135 @@
+// The library's central correctness contract: the paper's interval tracker
+// (Sections 3+4) must agree EXACTLY with the small-to-large oracle on the
+// same contraction order, across graph families, weights and seeds.
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/generators.h"
+#include "mincut/singleton.h"
+
+namespace ampccut {
+namespace {
+
+void expect_trackers_agree(const WGraph& g, std::uint64_t seed) {
+  const ContractionOrder o = make_contraction_order(g, seed);
+  const SingletonCutResult oracle = min_singleton_cut_oracle(g, o);
+  IntervalTrackerStats stats;
+  const SingletonCutResult interval =
+      min_singleton_cut_interval(g, o, &stats, /*parallel=*/false);
+  ASSERT_EQ(interval.weight, oracle.weight)
+      << "trackers disagree on n=" << g.n << " m=" << g.m()
+      << " seed=" << seed;
+  // The interval tracker's witness must reconstruct to a bag of that weight.
+  const auto bag = reconstruct_bag(g, o, interval.rep, interval.time);
+  EXPECT_EQ(cut_weight(g, bag), interval.weight);
+  EXPECT_LE(stats.max_boundary_edges, 2u);  // Lemma 10
+}
+
+TEST(SingletonTrackers, AgreeOnTinyGraphs) {
+  WGraph k2;
+  k2.n = 2;
+  k2.add_edge(0, 1, 7);
+  expect_trackers_agree(k2, 0);
+
+  WGraph tri;
+  tri.n = 3;
+  tri.add_edge(0, 1, 2);
+  tri.add_edge(1, 2, 3);
+  tri.add_edge(0, 2, 5);
+  for (std::uint64_t s = 0; s < 10; ++s) expect_trackers_agree(tri, s);
+}
+
+TEST(SingletonTrackers, AgreeOnRandomUnitGraphs) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const VertexId n = 4 + static_cast<VertexId>(seed % 40);
+    const WGraph g = gen_erdos_renyi(n, 0.25, seed);
+    expect_trackers_agree(g, seed * 13 + 1);
+  }
+}
+
+TEST(SingletonTrackers, AgreeOnRandomWeightedGraphs) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    WGraph g = gen_erdos_renyi(6 + static_cast<VertexId>(seed % 30), 0.35,
+                               seed + 500);
+    randomize_weights(g, 20, seed);
+    expect_trackers_agree(g, seed * 7 + 3);
+  }
+}
+
+TEST(SingletonTrackers, AgreeOnStructuredFamilies) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    expect_trackers_agree(gen_cycle(30), seed);
+    expect_trackers_agree(gen_grid(6, 7), seed);
+    expect_trackers_agree(gen_barbell(16), seed);
+    expect_trackers_agree(gen_planted_cut(40, 0.4, 2, seed), seed);
+    expect_trackers_agree(gen_communities(40, 4, 0.5, 2, seed), seed);
+    expect_trackers_agree(gen_complete(12), seed);
+    expect_trackers_agree(gen_preferential_attachment(40, 2, seed), seed);
+  }
+}
+
+TEST(SingletonTrackers, AgreeOnTrees) {
+  // On a tree every contraction bag is a subtree; min singleton cut relates
+  // to leaf structure. Good stress for boundary/cap handling.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    expect_trackers_agree(gen_random_tree(40, seed), seed + 2);
+    expect_trackers_agree(gen_path(25), seed);
+    expect_trackers_agree(gen_star(25), seed);
+  }
+}
+
+TEST(SingletonTrackers, AgreeOnMultigraphs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    WGraph g;
+    g.n = 8;
+    // Dense multigraph with parallel edges.
+    for (VertexId u = 0; u < g.n; ++u) {
+      for (VertexId v = u + 1; v < g.n; ++v) {
+        g.add_edge(u, v, 1 + (u + v + seed) % 4);
+        if ((u + 2 * v + seed) % 3 == 0) g.add_edge(u, v, 2);
+      }
+    }
+    expect_trackers_agree(g, seed);
+  }
+}
+
+TEST(SingletonCut, UpperBoundsMinDegreeAndLowerBoundsMinCut) {
+  // The process includes every t=0 singleton {v}, so the result is at most
+  // the min weighted degree; and every bag is a real cut, so it is at least
+  // the true min cut.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const WGraph g = gen_erdos_renyi(18, 0.4, seed);
+    const ContractionOrder o = make_contraction_order(g, seed);
+    const auto r = min_singleton_cut_oracle(g, o);
+    EXPECT_LE(r.weight, min_singleton_degree(g));
+    EXPECT_GE(r.weight, brute_force_min_cut(g).weight);
+  }
+}
+
+TEST(SingletonCut, OracleWitnessReconstructs) {
+  const WGraph g = gen_planted_cut(30, 0.5, 2, 3);
+  const ContractionOrder o = make_contraction_order(g, 11);
+  const auto r = min_singleton_cut_oracle(g, o);
+  const auto bag = reconstruct_bag(g, o, r.rep, r.time);
+  EXPECT_EQ(cut_weight(g, bag), r.weight);
+  // Proper, non-empty side.
+  const auto total = static_cast<std::size_t>(
+      std::count(bag.begin(), bag.end(), 1));
+  EXPECT_GE(total, 1u);
+  EXPECT_LT(total, static_cast<std::size_t>(g.n));
+}
+
+TEST(SingletonCut, IntervalStatsWithinPaperBounds) {
+  const WGraph g = gen_erdos_renyi(200, 0.05, 21);
+  const ContractionOrder o = make_contraction_order(g, 2);
+  IntervalTrackerStats stats;
+  (void)min_singleton_cut_interval(g, o, &stats);
+  const double lg = std::log2(200.0);
+  EXPECT_LE(stats.height, static_cast<std::uint32_t>(lg * lg + 2 * lg + 2));
+  // Total memory proxy O((n+m) log^2 n): intervals per level <= 2m.
+  EXPECT_LE(stats.total_intervals,
+            2 * g.m() * static_cast<std::uint64_t>(stats.height));
+}
+
+}  // namespace
+}  // namespace ampccut
