@@ -338,7 +338,7 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
         }
       } else {
         // Cases 2/3a: each alive side contributes until its leader falls.
-        for (const auto [alive, lv, z] :
+        for (const auto& [alive, lv, z] :
              {std::tuple{xa, lx, x}, std::tuple{ya, ly, y}}) {
           if (!alive || lv == kNoNext) continue;
           const auto leader = static_cast<VertexId>(lv);

