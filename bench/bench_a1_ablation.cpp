@@ -20,7 +20,8 @@ using namespace ampccut;
 using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("a1_ablation");
 
   std::printf("A1a — binarized paths vs naive chain splitting (path graph)\n\n");
   TablePrinter ta({"n", "binarized_height", "naive_height(=n)", "log2(n)"});
@@ -36,23 +37,53 @@ int main(int argc, char** argv) {
     // Naive splitting peels one end of the chain per level: height n.
     ta.add_row({fmt_u(n), fmt_u(d.height), fmt_u(n),
                 fmt(std::log2(static_cast<double>(n)), 1)});
+
+    BenchResult r;
+    r.name = "binarized_height_path";
+    r.group = "exact";
+    r.params["n"] = n;
+    r.iterations = 1;
+    r.extra["binarized_height"] = static_cast<double>(d.height);
+    r.extra["naive_height"] = static_cast<double>(n);
+    rep.add(std::move(r));
   }
   ta.print();
 
   std::printf("\nA1b — MSF rounds: measured Boruvka vs cited O(1/eps)\n\n");
   TablePrinter tb({"n", "m", "boruvka_measured", "cited_charge", "log2(n)"});
   std::vector<VertexId> sizes{512, 2048, 8192};
-  if (full) sizes.push_back(32768);
+  if (mode == Mode::kSmoke) sizes = {512, 2048};
+  if (mode == Mode::kFull) sizes.push_back(32768);
   for (const VertexId n : sizes) {
     const WGraph g = gen_random_connected(n, 3ull * n, 7 + n);
     const ContractionOrder o = make_contraction_order(g, 3);
     ampc::Runtime rt1(ampc::Config::for_problem(n + g.m(), 0.5));
-    (void)ampc::ampc_msf_boruvka(rt1, g, o);
+    const double boruvka_ns =
+        time_once_ns([&] { (void)ampc::ampc_msf_boruvka(rt1, g, o); });
     ampc::Runtime rt2(ampc::Config::for_problem(n + g.m(), 0.5));
-    (void)ampc::ampc_msf_cited(rt2, g, o);
+    const double cited_ns =
+        time_once_ns([&] { (void)ampc::ampc_msf_cited(rt2, g, o); });
     tb.add_row({fmt_u(n), fmt_u(g.m()), fmt_u(rt1.metrics().rounds),
                 fmt_u(rt2.metrics().charged_rounds),
                 fmt(std::log2(static_cast<double>(n)), 1)});
+
+    BenchResult rb;
+    rb.name = "msf_boruvka";
+    rb.params["n"] = n;
+    rb.params["m"] = static_cast<std::int64_t>(g.m());
+    rb.ns_per_op = boruvka_ns;
+    rb.iterations = 1;
+    fill_model_metrics(rb, rt1.metrics());
+    rep.add(std::move(rb));
+
+    BenchResult rc;
+    rc.name = "msf_cited";
+    rc.params["n"] = n;
+    rc.params["m"] = static_cast<std::int64_t>(g.m());
+    rc.ns_per_op = cited_ns;
+    rc.iterations = 1;
+    fill_model_metrics(rc, rt2.metrics());
+    rep.add(std::move(rc));
   }
   tb.print();
 
@@ -63,17 +94,29 @@ int main(int argc, char** argv) {
   const ContractionOrder o = make_contraction_order(g, 2);
   for (const double eps : {0.3, 0.5, 0.7, 0.9}) {
     ampc::Runtime rt(ampc::Config::for_problem(g.n + g.m(), eps));
-    (void)ampc::ampc_min_singleton_cut(rt, g, o);
+    const double ns =
+        time_once_ns([&] { (void)ampc::ampc_min_singleton_cut(rt, g, o); });
     tc.add_row({fmt(eps, 1), fmt_u(rt.config().machine_memory_words),
                 fmt_u(rt.metrics().rounds) + "+" +
                     fmt_u(rt.metrics().charged_rounds),
                 fmt_u(rt.metrics().max_machine_traffic),
                 fmt_u(rt.metrics().budget_violations.load())});
+
+    BenchResult r;
+    r.name = "singleton_eps_sweep";
+    r.params["n"] = g.n;
+    r.params["eps_x10"] = static_cast<std::int64_t>(eps * 10 + 0.5);
+    r.ns_per_op = ns;
+    r.iterations = 1;
+    fill_model_metrics(r, rt.metrics());
+    r.extra["machine_memory_words"] =
+        static_cast<double>(rt.config().machine_memory_words);
+    rep.add(std::move(r));
   }
   tc.print();
   std::printf("\nShape check: (a) log vs linear height; (b) Boruvka's "
               "measured phases grow with log n — the cited charge is what "
               "the paper's bound relies on; (c) larger eps => more machine "
               "memory => fewer rounds.\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

@@ -17,41 +17,75 @@ using namespace ampccut;
 using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e1_mincut_rounds");
   std::printf("E1 / Theorem 1 — AMPC min cut rounds vs n (family: random "
               "connected, m = 4n)\n\n");
   TablePrinter t({"n", "exact", "ampc_w", "ratio", "ampc_rounds(meas+cited)",
                   "mpc_rounds", "loglog(n)", "log*loglog"});
   std::vector<VertexId> sizes{256, 512, 1024, 2048};
-  if (full) sizes = {256, 512, 1024, 2048, 4096, 8192, 16384};
+  if (mode == Mode::kSmoke) sizes = {256, 512};
+  if (mode == Mode::kFull) sizes = {256, 512, 1024, 2048, 4096, 8192, 16384};
   for (const VertexId n : sizes) {
     const WGraph g = gen_random_connected(n, 4ull * n, 1000 + n);
 
     ampc::AmpcMinCutOptions aopt;
     aopt.recursion.seed = 7;
     aopt.recursion.trials = 1;
-    const auto ampc_r = ampc::ampc_approx_min_cut(g, aopt);
+    ampc::AmpcMinCutReport ampc_r;
+    const double ampc_ns =
+        time_once_ns([&] { ampc_r = ampc::ampc_approx_min_cut(g, aopt); });
 
     mpc::MpcMinCutOptions mopt;
     mopt.recursion.seed = 7;
     mopt.recursion.trials = 1;
-    const auto mpc_r = mpc::mpc_gn_min_cut(g, mopt);
+    mpc::MpcMinCutReport mpc_r;
+    const double mpc_ns =
+        time_once_ns([&] { mpc_r = mpc::mpc_gn_min_cut(g, mopt); });
 
     const Weight exact =
         n <= 4096 ? stoer_wagner_min_cut(g).weight : ampc_r.weight;
+    const double ratio = static_cast<double>(ampc_r.weight) /
+                         static_cast<double>(std::max<Weight>(1, exact));
     const double lg = std::log2(static_cast<double>(n));
     const double ll = std::log2(lg);
-    t.add_row({fmt_u(n), fmt_u(exact), fmt_u(ampc_r.weight),
-               fmt(static_cast<double>(ampc_r.weight) /
-                   static_cast<double>(std::max<Weight>(1, exact))),
+    t.add_row({fmt_u(n), fmt_u(exact), fmt_u(ampc_r.weight), fmt(ratio),
                fmt_u(ampc_r.measured_rounds) + "+" +
                    fmt_u(ampc_r.charged_rounds),
                fmt_u(mpc_r.rounds), fmt(ll), fmt(lg * ll, 1)});
+
+    BenchResult ra;
+    ra.name = "ampc_min_cut";
+    ra.params["n"] = n;
+    ra.ns_per_op = ampc_ns;
+    ra.iterations = 1;
+    ra.measured_rounds = ampc_r.measured_rounds;
+    ra.charged_rounds = ampc_r.charged_rounds;
+    ra.model_rounds = ampc_r.model_rounds();
+    ra.dht_read_words = ampc_r.dht_reads;
+    ra.dht_write_words = ampc_r.dht_writes;
+    ra.max_machine_traffic = ampc_r.max_machine_traffic;
+    ra.peak_table_words = ampc_r.peak_table_words;
+    ra.budget_violations = ampc_r.budget_violations;
+    ra.extra["weight"] = static_cast<double>(ampc_r.weight);
+    ra.extra["ratio_vs_exact"] = ratio;
+    rep.add(std::move(ra));
+
+    BenchResult rm;
+    rm.name = "mpc_gn_min_cut";
+    rm.params["n"] = n;
+    rm.ns_per_op = mpc_ns;
+    rm.iterations = 1;
+    rm.measured_rounds = mpc_r.rounds;
+    rm.model_rounds = mpc_r.rounds;
+    rm.dht_write_words = mpc_r.messages;
+    rm.extra["weight"] = static_cast<double>(mpc_r.weight);
+    rep.add(std::move(rm));
   }
   t.print();
   std::printf(
       "\nShape check: ampc_rounds tracks loglog(n) via the level count "
       "(levels x O(1/eps) rounds);\nmpc_rounds tracks log(n)*loglog(n) via "
       "pointer doubling inside each level. Ratios stay <= 2+eps.\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

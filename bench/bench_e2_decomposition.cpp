@@ -38,13 +38,15 @@ std::vector<TimeStep> unit_times(const WGraph& g, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e2_decomposition");
 
   std::printf("E2a / Lemma 3 — decomposition height vs log^2 n\n\n");
   TablePrinter ta({"family", "n", "height", "log2(n)^2", "height/log2^2",
                    "valid"});
   std::vector<VertexId> sizes{1 << 10, 1 << 12, 1 << 14};
-  if (full) sizes.push_back(1 << 16);
+  if (mode == Mode::kSmoke) sizes = {1 << 10, 1 << 12};
+  if (mode == Mode::kFull) sizes.push_back(1 << 16);
   for (const std::string family :
        {"path", "star", "broom", "caterpillar", "binary", "random"}) {
     for (const VertexId n : sizes) {
@@ -52,11 +54,24 @@ int main(int argc, char** argv) {
       const auto times = unit_times(g, 5);
       const RootedTree rt = build_rooted_tree(g.n, g.edges, times, 0);
       const HeavyLight hl = build_heavy_light(rt);
-      const auto d = build_low_depth_decomposition(rt, hl);
+      LowDepthDecomposition d;
+      const double ns =
+          time_once_ns([&] { d = build_low_depth_decomposition(rt, hl); });
       const double lg2 = std::pow(std::log2(static_cast<double>(g.n)), 2);
+      const bool valid = validate_low_depth_decomposition(rt, d);
       ta.add_row({family, fmt_u(g.n), fmt_u(d.height), fmt(lg2, 1),
-                  fmt(d.height / lg2),
-                  validate_low_depth_decomposition(rt, d) ? "yes" : "NO"});
+                  fmt(d.height / lg2), valid ? "yes" : "NO"});
+
+      BenchResult r;
+      r.name = "low_depth_build_" + family;
+      r.group = "exact";  // sequential builder: wall clock, no model costs
+      r.params["n"] = g.n;
+      r.ns_per_op = ns;
+      r.iterations = 1;
+      r.extra["height"] = d.height;
+      r.extra["height_over_log2_sq"] = d.height / lg2;
+      r.extra["valid"] = valid ? 1.0 : 0.0;
+      rep.add(std::move(r));
     }
   }
   ta.print();
@@ -64,20 +79,35 @@ int main(int argc, char** argv) {
   std::printf("\nE2b — AMPC rounds vs eps (random tree), flat in n\n\n");
   TablePrinter tb({"eps", "n", "measured_rounds", "charged_rounds",
                    "max_machine_traffic"});
+  const std::vector<VertexId> bsizes =
+      mode == Mode::kSmoke ? std::vector<VertexId>{VertexId(1 << 12)}
+                           : std::vector<VertexId>{VertexId(1 << 12),
+                                                   VertexId(1 << 14)};
   for (const double eps : {0.3, 0.5, 0.7, 0.9}) {
-    for (const VertexId n : {VertexId(1 << 12), VertexId(1 << 14)}) {
+    for (const VertexId n : bsizes) {
       const WGraph g = gen_random_tree(n, 3);
       const auto times = unit_times(g, 7);
       ampc::Runtime rt(ampc::Config::for_problem(n, eps));
-      const auto at = ampc::ampc_root_tree(rt, g.n, g.edges, times, 0);
-      (void)ampc::ampc_low_depth_decomposition(rt, at);
+      const double ns = time_once_ns([&] {
+        const auto at = ampc::ampc_root_tree(rt, g.n, g.edges, times, 0);
+        (void)ampc::ampc_low_depth_decomposition(rt, at);
+      });
       tb.add_row({fmt(eps, 1), fmt_u(n), fmt_u(rt.metrics().rounds),
                   fmt_u(rt.metrics().charged_rounds),
                   fmt_u(rt.metrics().max_machine_traffic)});
+
+      BenchResult r;
+      r.name = "ampc_low_depth";
+      r.params["n"] = n;
+      r.params["eps_x10"] = static_cast<std::int64_t>(eps * 10 + 0.5);
+      r.ns_per_op = ns;
+      r.iterations = 1;
+      fill_model_metrics(r, rt.metrics());
+      rep.add(std::move(r));
     }
   }
   tb.print();
   std::printf("\nShape check: height/log2^2 bounded by a small constant; "
               "rounds shrink as eps grows and do not grow with n.\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

@@ -14,12 +14,14 @@ using namespace ampccut;
 using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e4_kcut");
 
   std::printf("E4a / Theorem 2 — quality vs exact k-cut (n=10 ER graphs, 3 "
               "seeds averaged)\n\n");
   TablePrinter ta({"k", "avg_ratio_exact", "max_ratio", "bound(4+eps)"});
-  for (std::uint32_t k = 2; k <= 5; ++k) {
+  const std::uint32_t quality_kmax = mode == Mode::kSmoke ? 3u : 5u;
+  for (std::uint32_t k = 2; k <= quality_kmax; ++k) {
     double sum = 0, worst = 0;
     const int seeds = 3;
     for (int s = 0; s < seeds; ++s) {
@@ -35,6 +37,16 @@ int main(int argc, char** argv) {
       worst = std::max(worst, ratio);
     }
     ta.add_row({fmt_u(k), fmt(sum / seeds), fmt(worst), "4.9"});
+
+    BenchResult r;
+    r.name = "apx_split_quality";
+    r.group = "exact";  // tiny instances; only the ratio matters here
+    r.params["k"] = k;
+    r.params["n"] = 10;
+    r.iterations = seeds;
+    r.extra["avg_ratio_exact"] = sum / seeds;
+    r.extra["max_ratio"] = worst;
+    rep.add(std::move(r));
   }
   ta.print();
 
@@ -42,22 +54,39 @@ int main(int argc, char** argv) {
               "optimal cuts)\n\n");
   TablePrinter tb({"k", "n", "kcut_w", "gh_baseline_w", "rounds(meas+cited)",
                    "k*loglog(n)"});
-  const VertexId size = full ? 1024 : 512;
-  for (std::uint32_t k = 2; k <= (full ? 8u : 6u); ++k) {
+  const VertexId size = mode == Mode::kFull ? 1024 : 512;
+  const std::uint32_t kmax =
+      mode == Mode::kSmoke ? 3u : (mode == Mode::kFull ? 8u : 6u);
+  for (std::uint32_t k = 2; k <= kmax; ++k) {
     const WGraph g = gen_communities(size, k, 8.0 / size, 2, 31 + k);
     ampc::AmpcMinCutOptions o;
     o.recursion.seed = 5;
     o.recursion.trials = 1;
-    const auto got = ampc::ampc_apx_split_k_cut(g, k, o);
+    ampc::AmpcKCutReport got;
+    const double ns =
+        time_once_ns([&] { got = ampc::ampc_apx_split_k_cut(g, k, o); });
     const auto gh = gomory_hu_k_cut(g, k);
     const double ll = std::log2(std::log2(static_cast<double>(g.n)));
     tb.add_row({fmt_u(k), fmt_u(g.n), fmt_u(got.result.weight),
                 fmt_u(gh.weight),
                 fmt_u(got.measured_rounds) + "+" + fmt_u(got.charged_rounds),
                 fmt(k * ll, 1)});
+
+    BenchResult r;
+    r.name = "ampc_apx_split_k_cut";
+    r.params["k"] = k;
+    r.params["n"] = g.n;
+    r.ns_per_op = ns;
+    r.iterations = 1;
+    r.measured_rounds = got.measured_rounds;
+    r.charged_rounds = got.charged_rounds;
+    r.model_rounds = got.model_rounds();
+    r.extra["weight"] = static_cast<double>(got.result.weight);
+    r.extra["gomory_hu_weight"] = static_cast<double>(gh.weight);
+    rep.add(std::move(r));
   }
   tb.print();
   std::printf("\nShape check: ratios <= 4+eps (usually ~1); rounds grow "
               "linearly in k (Theorem 2's O(k loglog n)).\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

@@ -17,9 +17,11 @@ using namespace ampccut;
 using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
-  const VertexId n = full ? 512 : 256;
-  const int trials = full ? 400 : 150;
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e5_contraction_probability");
+  const VertexId n = mode == Mode::kFull ? 512 : 256;
+  const int trials =
+      mode == Mode::kSmoke ? 40 : (mode == Mode::kFull ? 400 : 150);
   const double eps = 0.9;
 
   const WGraph g = gen_planted_cut(n, 12.0 / n, 2, 99);
@@ -32,35 +34,50 @@ int main(int argc, char** argv) {
                   "bound 1/t^(1-eps/3)"});
   for (const double tf : {2.0, 4.0, 8.0, 16.0, 32.0}) {
     int preserved = 0, small_singleton = 0, either = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      const ContractionOrder o = make_contraction_order(g, 1000 + trial);
-      const auto target = static_cast<VertexId>(
-          std::max(2.0, static_cast<double>(n) / tf));
-      const ContractedGraph c = contract_to_size(g, o, target);
-      // Preserved: no planted-bridge edge was contracted (the two halves
-      // stay in different supervertices is necessary; sufficient is that no
-      // min-cut edge is internal — with bridge edges that is the same).
-      bool cut_alive = true;
-      for (const auto& e : g.edges) {
-        const bool crosses = (e.u < n / 2) != (e.v < n / 2);
-        if (crosses && c.origin[e.u] == c.origin[e.v]) cut_alive = false;
+    const double ns = time_once_ns([&] {
+      for (int trial = 0; trial < trials; ++trial) {
+        const ContractionOrder o = make_contraction_order(g, 1000 + trial);
+        const auto target = static_cast<VertexId>(
+            std::max(2.0, static_cast<double>(n) / tf));
+        const ContractedGraph c = contract_to_size(g, o, target);
+        // Preserved: no planted-bridge edge was contracted (the two halves
+        // stay in different supervertices is necessary; sufficient is that no
+        // min-cut edge is internal — with bridge edges that is the same).
+        bool cut_alive = true;
+        for (const auto& e : g.edges) {
+          const bool crosses = (e.u < n / 2) != (e.v < n / 2);
+          if (crosses && c.origin[e.u] == c.origin[e.v]) cut_alive = false;
+        }
+        // Small singleton: the tracker saw a bag within (2+eps) * lambda over
+        // the prefix of the process that reaches the target size.
+        const auto s = min_singleton_cut_oracle(g, o);
+        const bool small = static_cast<double>(s.weight) <=
+                           (2.0 + eps) * static_cast<double>(lambda);
+        preserved += cut_alive;
+        small_singleton += small;
+        either += (cut_alive || small);
       }
-      // Small singleton: the tracker saw a bag within (2+eps) * lambda over
-      // the prefix of the process that reaches the target size.
-      const auto s = min_singleton_cut_oracle(g, o);
-      const bool small = static_cast<double>(s.weight) <=
-                         (2.0 + eps) * static_cast<double>(lambda);
-      preserved += cut_alive;
-      small_singleton += small;
-      either += (cut_alive || small);
-    }
+    });
     const double bound = 1.0 / std::pow(tf, 1.0 - eps / 3.0);
     t.add_row({fmt(tf, 0), fmt(double(preserved) / trials),
                fmt(double(small_singleton) / trials),
                fmt(double(either) / trials), fmt(bound)});
+
+    BenchResult r;
+    r.name = "contraction_success";
+    r.group = "exact";  // Monte Carlo over the sequential machinery
+    r.params["n"] = n;
+    r.params["t"] = static_cast<std::int64_t>(tf);
+    r.ns_per_op = ns / trials;  // one trial is the op
+    r.iterations = static_cast<std::uint64_t>(trials);
+    r.extra["p_preserved"] = double(preserved) / trials;
+    r.extra["p_small_singleton"] = double(small_singleton) / trials;
+    r.extra["p_either"] = double(either) / trials;
+    r.extra["bound"] = bound;
+    rep.add(std::move(r));
   }
   t.print();
   std::printf("\nShape check: P[either] dominates the 1/t^(1-eps/3) bound "
               "at every t (Lemma 2).\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

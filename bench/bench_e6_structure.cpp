@@ -14,8 +14,11 @@ using namespace ampccut;
 using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
-  const VertexId n = full ? 1 << 15 : 1 << 12;
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e6_structure");
+  const VertexId n = mode == Mode::kSmoke
+                         ? 1 << 10
+                         : (mode == Mode::kFull ? 1 << 15 : 1 << 12);
   std::printf("E6 / Obs. 1+6, Lemma 10 — structural stats (n=%u)\n\n", n);
 
   TablePrinter t({"family", "heavy_paths", "max_light_on_path", "log2(n)",
@@ -41,17 +44,33 @@ int main(int argc, char** argv) {
     std::shuffle(times.begin(), times.end(), rng);
     const RootedTree rt = build_rooted_tree(g.n, g.edges, times, 0);
     const HeavyLight hl = build_heavy_light(rt);
-    const auto d = build_low_depth_decomposition(rt, hl);
-    const auto s = decomposition_stats(rt, hl, d);
+    DecompositionStats s{};
+    const double ns = time_once_ns([&] {
+      const auto d = build_low_depth_decomposition(rt, hl);
+      s = decomposition_stats(rt, hl, d);
+    });
     const double lg = std::log2(static_cast<double>(g.n));
     t.add_row({name, fmt_u(s.num_paths), fmt_u(s.max_light_on_root_path),
                fmt(lg, 1), fmt_u(s.height), fmt(lg * lg, 0),
                fmt_u(s.max_boundary_edges), fmt_u(s.sum_level_vertices),
                fmt_u(static_cast<std::uint64_t>(g.n) * s.height)});
+
+    BenchResult r;
+    r.name = std::string("structure_") + name;
+    r.group = "exact";
+    r.params["n"] = g.n;
+    r.ns_per_op = ns;
+    r.iterations = 1;
+    r.extra["height"] = static_cast<double>(s.height);
+    r.extra["max_light_on_root_path"] =
+        static_cast<double>(s.max_light_on_root_path);
+    r.extra["max_boundary_edges"] = static_cast<double>(s.max_boundary_edges);
+    r.extra["sum_level_vertices"] = static_cast<double>(s.sum_level_vertices);
+    rep.add(std::move(r));
   }
   t.print();
   std::printf("\nShape check: max_light_on_path <= log2(n)+1 (Obs. 1); "
               "height <= c*log2(n)^2 (Obs. 6); max_boundary <= 2 "
               "(Lemma 10).\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

@@ -24,29 +24,51 @@ int components_of(const Labels& label) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = has_flag(argc, argv, "--full");
+  const Mode mode = mode_of(argc, argv);
+  BenchReporter rep("e7_one_vs_two_cycles");
   std::printf("E7 — 1-vs-2 cycles: connectivity rounds, AMPC vs MPC\n\n");
   TablePrinter t({"n", "graph", "ampc_rounds", "mpc_rounds", "log2(n)",
                   "components"});
   std::vector<VertexId> sizes{1 << 8, 1 << 10, 1 << 12};
-  if (full) sizes.push_back(1 << 14);
+  if (mode == Mode::kSmoke) sizes = {1 << 8, 1 << 10};
+  if (mode == Mode::kFull) sizes.push_back(1 << 14);
   for (const VertexId n : sizes) {
     for (const bool two : {false, true}) {
       const WGraph g = two ? gen_two_cycles(n) : gen_cycle(n);
       ampc::Runtime art(ampc::Config::for_problem(n, 0.5));
-      const auto alabel = ampc::ampc_components(art, g);
+      std::vector<VertexId> alabel;
+      const double ampc_ns =
+          time_once_ns([&] { alabel = ampc::ampc_components(art, g); });
       mpc::Runtime mrt(mpc::Config{}, 32);
-      const auto mlabel = mpc::mpc_components(mrt, g);
+      std::vector<VertexId> mlabel;
+      const double mpc_ns =
+          time_once_ns([&] { mlabel = mpc::mpc_components(mrt, g); });
       REPRO_CHECK(components_of(alabel) == components_of(mlabel));
       t.add_row({fmt_u(n), two ? "two cycles" : "one cycle",
                  fmt_u(art.metrics().rounds), fmt_u(mrt.metrics().rounds),
                  fmt(std::log2(static_cast<double>(n)), 1),
                  fmt_u(components_of(alabel))});
+
+      BenchResult ra;
+      ra.name = two ? "ampc_components_two_cycles" : "ampc_components_cycle";
+      ra.params["n"] = n;
+      ra.ns_per_op = ampc_ns;
+      ra.iterations = 1;
+      fill_model_metrics(ra, art.metrics());
+      rep.add(std::move(ra));
+
+      BenchResult rm;
+      rm.name = two ? "mpc_components_two_cycles" : "mpc_components_cycle";
+      rm.params["n"] = n;
+      rm.ns_per_op = mpc_ns;
+      rm.iterations = 1;
+      fill_model_metrics(rm, mrt.metrics());
+      rep.add(std::move(rm));
     }
   }
   t.print();
   std::printf("\nShape check: ampc_rounds flat in n; mpc_rounds grows with "
               "log2(n) (the 1-vs-2-Cycle conjecture's lower bound in "
               "action).\n");
-  return 0;
+  return finish(argc, argv, rep);
 }

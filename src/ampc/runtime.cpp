@@ -4,12 +4,28 @@ namespace ampccut::ampc {
 
 thread_local MachineContext* MachineContext::current_ = nullptr;
 
-Runtime::Runtime(Config cfg) : cfg_(cfg), pool_(ThreadPool::shared()) {}
+namespace {
+// Below this many staged entries the two-phase commit runs inline on the
+// driver thread: fan-out overhead would dominate, and the result is
+// identical either way (both paths apply shards in machine-id order).
+constexpr std::uint64_t kParallelCommitThreshold = 4096;
+}  // namespace
+
+Runtime::Runtime(Config cfg, ThreadPool* pool)
+    : cfg_(cfg), pool_(pool != nullptr ? *pool : ThreadPool::shared()) {}
 
 void Runtime::round(const char* label, std::size_t num_machines,
                     const std::function<void(MachineContext&)>& body) {
   ++metrics_.rounds;
   metrics_.rounds_by_label[label] += 1;
+  {
+    // Size every table's machine staging buffers (the overflow buffer for
+    // driver-side writes is a separate member of each table); tables
+    // registered mid-round are sized by register_table from round_buffers_.
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    round_buffers_ = num_machines;
+    for (auto* t : tables_) t->begin_round(round_buffers_);
+  }
   std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> writes{0};
   std::atomic<std::uint64_t> max_machine_traffic{0};
@@ -45,6 +61,7 @@ void Runtime::charge_rounds(const char* label, std::uint64_t rounds) {
 
 void Runtime::register_table(detail::TableBase* table) {
   std::lock_guard<std::mutex> lock(tables_mu_);
+  table->begin_round(round_buffers_);
   tables_.push_back(table);
 }
 
@@ -55,11 +72,44 @@ void Runtime::unregister_table(detail::TableBase* table) {
 
 void Runtime::commit_all() {
   std::lock_guard<std::mutex> lock(tables_mu_);
-  std::uint64_t words = 0;
+  // Gather the tables with staged writes and their two commit phases as
+  // flat task lists (the pool is not reentrant, so phases fan out from here
+  // rather than nesting a parallel_for per table).
+  struct Task {
+    detail::TableBase* table;
+    std::size_t index;
+  };
+  std::vector<detail::TableBase*> staged;
+  std::vector<Task> partitions;
+  std::vector<Task> shards;
+  std::uint64_t staged_total = 0;
   for (auto* t : tables_) {
-    t->commit();
-    words += t->size_words();
+    const std::uint64_t entries = t->staged_entries();
+    if (entries == 0) continue;
+    staged_total += entries;
+    staged.push_back(t);
+    for (std::size_t b = 0, nb = t->num_staging_buffers(); b < nb; ++b) {
+      partitions.push_back({t, b});
+    }
+    for (std::size_t s = 0, ns = t->num_commit_shards(); s < ns; ++s) {
+      shards.push_back({t, s});
+    }
   }
+  if (staged_total >= kParallelCommitThreshold) {
+    // Phase A: partition each staging buffer by destination shard.
+    pool_.parallel_for(partitions.size(), [&](std::size_t i) {
+      partitions[i].table->partition_staged(partitions[i].index);
+    });
+    // Phase B: apply each shard's slice of every buffer, machine order.
+    pool_.parallel_for(shards.size(), [&](std::size_t i) {
+      shards[i].table->commit_shard(shards[i].index);
+    });
+    for (auto* t : staged) t->finish_commit();
+  } else {
+    for (auto* t : staged) t->commit();
+  }
+  std::uint64_t words = 0;
+  for (auto* t : tables_) words += t->size_words();
   metrics_.peak_table_words = std::max(metrics_.peak_table_words, words);
 }
 

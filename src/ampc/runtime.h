@@ -15,6 +15,15 @@
 //     O(n^eps) budget (the model bounds a machine's DHT traffic per round by
 //     its local memory).
 //
+// Write path (DESIGN.md "Runtime concurrency & staging"): put() appends to
+// the calling machine's private staging buffer — no locks, no sharing. At
+// the barrier the runtime commits in two parallel phases: (A) each buffer is
+// partitioned by destination shard, (B) each shard applies its slice of
+// every buffer in machine-id order. Machine order makes committed contents
+// (and hence kOverwrite races) independent of the thread schedule, and the
+// frozen-read invariant holds because committed storage is only ever touched
+// between rounds.
+//
 // Metrics separate *measured* rounds (what the simulator executed) from
 // *charged* rounds (published costs of cited primitives — see DESIGN.md
 // round-accounting policy; only the MSF primitive uses charging).
@@ -77,12 +86,48 @@ struct Metrics {
 };
 
 namespace detail {
+
+// Commit protocol between Runtime and the tables. Staged writes live in
+// per-machine buffers (one per virtual machine plus a mutex-guarded overflow
+// slot for driver-side writes outside any machine); the barrier commit runs
+// two phases the runtime can fan out over the thread pool:
+//   phase A  partition_staged(b)  — group buffer b's entries by shard
+//                                   (independent across buffers);
+//   phase B  commit_shard(s)      — apply shard s's slice of every buffer,
+//                                   buffers in machine-id order (independent
+//                                   across shards: disjoint key ranges).
+// finish_commit() clears the buffers (capacity retained round-over-round).
 class TableBase {
  public:
   virtual ~TableBase() = default;
-  virtual void commit() = 0;
+
+  // Ensures at least `num_buffers` machine staging buffers exist (the
+  // overflow buffer is separate and always addressed as the last index).
+  // Called by the runtime at round start and at registration — never
+  // concurrently with put().
+  virtual void begin_round(std::size_t num_buffers) = 0;
+
+  [[nodiscard]] virtual std::size_t num_staging_buffers() const = 0;
+  [[nodiscard]] virtual std::size_t num_commit_shards() const = 0;
+  [[nodiscard]] virtual std::uint64_t staged_entries() const = 0;
+  virtual void partition_staged(std::size_t buffer) = 0;
+  virtual void commit_shard(std::size_t shard) = 0;
+  virtual void finish_commit() = 0;
   [[nodiscard]] virtual std::uint64_t size_words() const = 0;
+
+  // Serial commit (tests / driver-side flushes): same phase order as the
+  // parallel path, hence bit-identical results.
+  void commit() {
+    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
+      partition_staged(b);
+    }
+    for (std::size_t s = 0, ns = num_commit_shards(); s < ns; ++s) {
+      commit_shard(s);
+    }
+    finish_commit();
+  }
 };
+
 }  // namespace detail
 
 class Runtime;
@@ -119,7 +164,9 @@ class MachineContext {
 
 class Runtime {
  public:
-  explicit Runtime(Config cfg);
+  // `pool` overrides the shared pool (tests pin thread counts with it);
+  // nullptr selects ThreadPool::shared().
+  explicit Runtime(Config cfg, ThreadPool* pool = nullptr);
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
@@ -156,7 +203,8 @@ class Runtime {
   Metrics metrics_;
   ThreadPool& pool_;
   std::mutex tables_mu_;
-  std::vector<detail::TableBase*> tables_;
+  std::vector<detail::TableBase*> tables_;  // guarded by tables_mu_
+  std::size_t round_buffers_ = 0;  // machine buffers of the round in flight
 };
 
 // Merge policies for writes committed under the same key in one round.
@@ -181,13 +229,17 @@ void apply_merge(V& dst, const V& src, Merge policy) {
 }
 
 // Sharded hash table with AMPC visibility semantics. Reads see only data
-// committed at a previous round barrier; put() stages writes shard-locally.
+// committed at a previous round barrier; put() stages into the writing
+// machine's private buffer (lock-free — see the header comment). Commit
+// applies buffers in machine-id order, so same-key kOverwrite writes resolve
+// deterministically to the highest-machine-id writer.
 template <class K, class V, class Hash = std::hash<K>>
 class Table final : public detail::TableBase {
  public:
   Table(Runtime& rt, std::string name, Merge policy = Merge::kOverwrite,
         std::size_t shards = 64)
-      : rt_(rt), name_(std::move(name)), policy_(policy), shards_(shards) {
+      : rt_(rt), name_(std::move(name)), policy_(policy),
+        shards_vec_(std::max<std::size_t>(1, shards)) {
     rt_.register_table(this);
   }
   ~Table() override { rt_.unregister_table(this); }
@@ -196,11 +248,12 @@ class Table final : public detail::TableBase {
   Table& operator=(const Table&) = delete;
 
   // Adaptive read during a round (counts against the machine budget).
+  // Committed storage is immutable while machines run, so reads take no lock.
   std::optional<V> get(const K& key) const {
     if (auto* ctx = MachineContext::current()) ctx->count_read(words_per_kv());
-    const Shard& s = shard(key);
-    const auto it = s.data.find(key);
-    if (it == s.data.end()) return std::nullopt;
+    const auto& data = shards_vec_[shard_of(key)].data;
+    const auto it = data.find(key);
+    if (it == data.end()) return std::nullopt;
     return it->second;
   }
 
@@ -216,36 +269,33 @@ class Table final : public detail::TableBase {
 
   // Staged write; visible after the enclosing round's barrier.
   void put(const K& key, V value) {
-    if (auto* ctx = MachineContext::current())
+    const auto shard = static_cast<std::uint32_t>(shard_of(key));
+    if (auto* ctx = MachineContext::current()) {
       ctx->count_write(words_per_kv());
-    Shard& s = shard(key);
-    std::lock_guard<std::mutex> lock(s.mu);
-    s.staged.emplace_back(key, std::move(value));
+      Buffer& buf = buffers_[ctx->machine_id()];
+      buf.entries.push_back({shard, key, std::move(value)});
+      return;
+    }
+    // Driver-side write outside any machine: the dedicated overflow buffer,
+    // committed after every machine's buffer.
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    overflow_.entries.push_back({shard, key, std::move(value)});
   }
 
-  // Immediate insert for round-0 input distribution (counts no traffic).
+  // Immediate insert for round-0 input distribution (counts no traffic;
+  // driver-side only, never concurrent with a round).
   void seed(const K& key, V value) {
-    Shard& s = shard(key);
-    std::lock_guard<std::mutex> lock(s.mu);
-    auto [it, fresh] = s.data.emplace(key, std::move(value));
-    if (!fresh) apply_merge(it->second, value, policy_);
-  }
-
-  void commit() override {
-    for (auto& s : shards_vec_) {
-      std::lock_guard<std::mutex> lock(s.mu);
-      for (auto& [k, v] : s.staged) {
-        auto [it, fresh] = s.data.emplace(k, v);
-        if (!fresh) apply_merge(it->second, v, policy_);
-      }
-      s.staged.clear();
+    auto& data = shards_vec_[shard_of(key)].data;
+    const auto it = data.find(key);
+    if (it == data.end()) {
+      data.emplace(key, std::move(value));
+    } else {
+      apply_merge(it->second, value, policy_);
     }
   }
 
   [[nodiscard]] std::uint64_t size_words() const override {
-    std::uint64_t n = 0;
-    for (const auto& s : shards_vec_) n += s.data.size();
-    return n * words_per_kv();
+    return size() * words_per_kv();
   }
 
   [[nodiscard]] std::uint64_t size() const {
@@ -263,42 +313,128 @@ class Table final : public detail::TableBase {
     return out;
   }
 
+  // --- TableBase commit protocol -----------------------------------------
+
+  void begin_round(std::size_t num_buffers) override {
+    if (buffers_.size() < num_buffers) buffers_.resize(num_buffers);
+  }
+
+  [[nodiscard]] std::size_t num_staging_buffers() const override {
+    return buffers_.size() + 1;  // + the overflow buffer, always last
+  }
+
+  [[nodiscard]] std::size_t num_commit_shards() const override {
+    return shards_vec_.size();
+  }
+
+  [[nodiscard]] std::uint64_t staged_entries() const override {
+    std::uint64_t n = overflow_.entries.size();
+    for (const auto& b : buffers_) n += b.entries.size();
+    return n;
+  }
+
+  void partition_staged(std::size_t buffer) override {
+    Buffer& buf = buffer_at(buffer);
+    if (buf.entries.empty()) {
+      buf.offsets.clear();  // commit_shard skips unpartitioned buffers
+      return;
+    }
+    const std::size_t shards = shards_vec_.size();
+    buf.offsets.assign(shards + 1, 0);
+    for (const Staged& e : buf.entries) ++buf.offsets[e.shard + 1];
+    for (std::size_t s = 0; s < shards; ++s) {
+      buf.offsets[s + 1] += buf.offsets[s];
+    }
+    buf.parted.resize(buf.entries.size());
+    std::vector<std::uint32_t> cursor(buf.offsets.begin(),
+                                      buf.offsets.end() - 1);
+    for (Staged& e : buf.entries) {  // stable: program order within a shard
+      buf.parted[cursor[e.shard]++] = std::move(e);
+    }
+  }
+
+  void commit_shard(std::size_t shard) override {
+    auto& data = shards_vec_[shard].data;
+    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
+      Buffer& buf = buffer_at(b);
+      if (buf.offsets.empty()) continue;
+      const std::uint32_t begin = buf.offsets[shard];
+      const std::uint32_t end = buf.offsets[shard + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        Staged& e = buf.parted[i];
+        const auto it = data.find(e.key);
+        if (it == data.end()) {
+          data.emplace(std::move(e.key), std::move(e.value));
+        } else {
+          apply_merge(it->second, e.value, policy_);
+        }
+      }
+    }
+  }
+
+  void finish_commit() override {
+    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
+      Buffer& buf = buffer_at(b);
+      buf.entries.clear();
+      buf.parted.clear();
+      buf.offsets.clear();
+    }
+  }
+
  private:
+  struct Staged {
+    std::uint32_t shard;
+    K key;
+    V value;
+  };
+  // One per virtual machine, plus the dedicated overflow buffer. A buffer is
+  // only ever appended to by the thread running its machine, partitioned by
+  // one phase-A task, and read by phase-B tasks — never concurrently.
+  struct Buffer {
+    std::vector<Staged> entries;
+    std::vector<Staged> parted;            // entries grouped by shard
+    std::vector<std::uint32_t> offsets;    // per-shard ranges into parted
+  };
   struct Shard {
-    mutable std::mutex mu;
     std::unordered_map<K, V, Hash> data;
-    std::vector<std::pair<K, V>> staged;
   };
 
   static constexpr std::uint64_t words_per_kv() {
     return (sizeof(K) + sizeof(V) + 7) / 8;
   }
 
-  Shard& shard(const K& key) {
-    return shards_vec_[Hash{}(key) % shards_vec_.size()];
+  [[nodiscard]] std::size_t shard_of(const K& key) const {
+    return Hash{}(key) % shards_vec_.size();
   }
-  const Shard& shard(const K& key) const {
-    return shards_vec_[Hash{}(key) % shards_vec_.size()];
+
+  // The overflow buffer is addressed as the last staging buffer — a member
+  // of its own (not a vector slot) so begin_round growth can never
+  // repurpose it as a machine buffer and demote its commit-last position.
+  [[nodiscard]] Buffer& buffer_at(std::size_t b) {
+    return b < buffers_.size() ? buffers_[b] : overflow_;
   }
 
   Runtime& rt_;
   std::string name_;
   Merge policy_;
-  std::size_t shards_;
-  std::vector<Shard> shards_vec_{shards_};
+  std::vector<Shard> shards_vec_;
+  std::vector<Buffer> buffers_;  // grown by begin_round, one per machine
+  Buffer overflow_;              // driver-side writes, commits last
+  std::mutex overflow_mu_;
 };
 
 // Dense uint64-indexed table (a hash table whose keys are 0..size-1): same
-// visibility semantics, array-backed for the index-structured data (tree
-// arrays, sparse tables) that dominates the algorithms. Reads of
-// uncommitted-this-round writes are prevented by staging into a side buffer.
+// visibility and staging semantics, array-backed for the index-structured
+// data (tree arrays, sparse tables) that dominates the algorithms. Commit
+// shards are contiguous index ranges, so phase B stays cache-friendly.
 template <class V>
 class DenseTable final : public detail::TableBase {
  public:
   DenseTable(Runtime& rt, std::string name, std::size_t size, V init = V{},
              Merge policy = Merge::kOverwrite)
-      : rt_(rt), name_(std::move(name)), policy_(policy),
-        data_(size, init) {
+      : rt_(rt), name_(std::move(name)), policy_(policy), data_(size, init),
+        shard_size_(std::max<std::uint64_t>(
+            1, ceil_div(std::max<std::uint64_t>(1, size), kMaxShards))) {
     rt_.register_table(this);
   }
   ~DenseTable() override { rt_.unregister_table(this); }
@@ -314,9 +450,15 @@ class DenseTable final : public detail::TableBase {
 
   void put(std::uint64_t i, V value) {
     REPRO_DCHECK(i < data_.size());
-    if (auto* ctx = MachineContext::current()) ctx->count_write(words_per_v());
-    std::lock_guard<std::mutex> lock(mu_);
-    staged_.emplace_back(i, std::move(value));
+    const auto shard = static_cast<std::uint32_t>(i / shard_size_);
+    if (auto* ctx = MachineContext::current()) {
+      ctx->count_write(words_per_v());
+      buffers_[ctx->machine_id()].entries.push_back(
+          {shard, i, std::move(value)});
+      return;
+    }
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    overflow_.entries.push_back({shard, i, std::move(value)});
   }
 
   // Round-0 seeding / driver-side access (no traffic accounting).
@@ -324,31 +466,102 @@ class DenseTable final : public detail::TableBase {
   const V& raw(std::uint64_t i) const { return data_[i]; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
-  void commit() override {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [i, v] : staged_) {
-      apply_merge(data_[i], v, policy_ == Merge::kOverwrite
-                                   ? Merge::kOverwrite
-                                   : policy_);
-    }
-    staged_.clear();
-  }
-
   [[nodiscard]] std::uint64_t size_words() const override {
     return data_.size() * words_per_v();
   }
 
+  // --- TableBase commit protocol -----------------------------------------
+
+  void begin_round(std::size_t num_buffers) override {
+    if (buffers_.size() < num_buffers) buffers_.resize(num_buffers);
+  }
+
+  [[nodiscard]] std::size_t num_staging_buffers() const override {
+    return buffers_.size() + 1;  // + the overflow buffer, always last
+  }
+
+  [[nodiscard]] std::size_t num_commit_shards() const override {
+    return data_.empty() ? 1 : ceil_div(data_.size(), shard_size_);
+  }
+
+  [[nodiscard]] std::uint64_t staged_entries() const override {
+    std::uint64_t n = overflow_.entries.size();
+    for (const auto& b : buffers_) n += b.entries.size();
+    return n;
+  }
+
+  void partition_staged(std::size_t buffer) override {
+    Buffer& buf = buffer_at(buffer);
+    if (buf.entries.empty()) {
+      buf.offsets.clear();
+      return;
+    }
+    const std::size_t shards = num_commit_shards();
+    buf.offsets.assign(shards + 1, 0);
+    for (const Staged& e : buf.entries) ++buf.offsets[e.shard + 1];
+    for (std::size_t s = 0; s < shards; ++s) {
+      buf.offsets[s + 1] += buf.offsets[s];
+    }
+    buf.parted.resize(buf.entries.size());
+    std::vector<std::uint32_t> cursor(buf.offsets.begin(),
+                                      buf.offsets.end() - 1);
+    for (Staged& e : buf.entries) {
+      buf.parted[cursor[e.shard]++] = std::move(e);
+    }
+  }
+
+  void commit_shard(std::size_t shard) override {
+    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
+      Buffer& buf = buffer_at(b);
+      if (buf.offsets.empty()) continue;
+      const std::uint32_t begin = buf.offsets[shard];
+      const std::uint32_t end = buf.offsets[shard + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        Staged& e = buf.parted[i];
+        apply_merge(data_[e.index], e.value, policy_);
+      }
+    }
+  }
+
+  void finish_commit() override {
+    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
+      Buffer& buf = buffer_at(b);
+      buf.entries.clear();
+      buf.parted.clear();
+      buf.offsets.clear();
+    }
+  }
+
  private:
+  static constexpr std::uint64_t kMaxShards = 64;
+
+  struct Staged {
+    std::uint32_t shard;
+    std::uint64_t index;
+    V value;
+  };
+  struct Buffer {
+    std::vector<Staged> entries;
+    std::vector<Staged> parted;
+    std::vector<std::uint32_t> offsets;
+  };
+
   static constexpr std::uint64_t words_per_v() {
     return (sizeof(V) + 7) / 8;
+  }
+
+  [[nodiscard]] Buffer& buffer_at(std::size_t b) {
+    return b < buffers_.size() ? buffers_[b] : overflow_;
   }
 
   Runtime& rt_;
   std::string name_;
   Merge policy_;
   std::vector<V> data_;
-  std::mutex mu_;
-  std::vector<std::pair<std::uint64_t, V>> staged_;
+  std::uint64_t shard_size_;  // indices per commit shard
+  std::vector<Buffer> buffers_;
+  Buffer overflow_;
+  std::mutex overflow_mu_;
 };
 
 }  // namespace ampccut::ampc

@@ -5,6 +5,13 @@
 // costs the MAXIMUM model rounds over its components plus O(1) rounds for
 // counting components (cited from Behnezhad et al. [4], as the paper does in
 // the proof of Theorem 2).
+//
+// Cost: k-1 iterations of the Theorem 1 min-cut report (mincut_ampc.h:
+// measured tracker rounds + charged MSF/sort/RMQ rounds), so
+// O(k log log n) model rounds total. DHT traffic per iteration is the sum
+// of the min-cut traffic over that iteration's components — components
+// partition the vertex set, so an iteration's total stays
+// O((n + m) log n) words and shrinks as cuts split the graph.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,13 @@
 // per-machine traffic stays ~M), recurses on the sampled sublist, and expands
 // ranks back. Recursion depth is O(log N / log M) = O(1/eps); every level is
 // O(1) rounds. Handles multiple disjoint lists simultaneously.
+//
+// Cost: sample/walk/expand rounds are measured (O(1) per level, O(1/eps)
+// levels); compacting the sampled sublist is charged 1 round per level as
+// `list_rank.compact[cited]` (an AMPC sort, DESIGN.md round-accounting
+// policy). DHT traffic: O(N) words per level in total — each element's walk
+// touches expected sqrt(M) successors but walks are what the adaptive model
+// prices as reads, so per-machine traffic stays ~M = O(n^eps) w.h.p.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,15 @@
 // Tie-breaking matches the sequential implementation exactly (larger
 // subtree, then smaller vertex id), so tests can assert label-for-label
 // equality with tree/low_depth.h.
+//
+// Cost: steps 2-4 are measured (a constant number of rounds plus three list
+// rankings at O(1/eps) each); the only charged rounds are those inherited
+// from the tour/ranking subroutines (`euler.sort[cited]`,
+// `list_rank.compact[cited]`). DHT traffic is O(n) words per round — one
+// O(1)-word record per vertex or per heavy-path head — except the
+// base-depth walk, whose adaptive reads are O(log n) words per head and
+// O(n^eps) per machine (E2b sweeps eps to confirm rounds scale as 1/eps and
+// stay flat in n).
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,15 @@
 // threshold fits in one machine's O(n^eps) memory — Algorithm 1 line 1).
 // Measured rounds (executed on the simulator) and charged rounds (cited
 // primitives: MSF, sorts, RMQ build — see DESIGN.md) are reported separately.
+//
+// DHT-traffic shape: the report SUMS reads/writes over every tracker run
+// (unlike rounds, which take per-level maxima) — total words are what a
+// deployment pays, parallel or not. Each tracker run contributes the
+// singleton tracker's O((n_i + m_i) log n_i) words on its instance
+// (singleton_ampc.h); instance sizes shrink geometrically down the
+// recursion, so the top level dominates. max_machine_traffic /
+// peak_table_words / budget_violations are maxima (resp. sums) over runs,
+// E1 tracks them against n.
 #pragma once
 
 #include <cstdint>

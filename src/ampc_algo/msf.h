@@ -10,6 +10,14 @@
 //    computes the identical output via Kruskal. This is the only cited-cost
 //    primitive with no measured implementation of the same bound; benches
 //    report both variants (ablation E10).
+//
+// DHT-traffic shape (Boruvka variant): each phase reads O(m) words total
+// (every vertex scans its incident arcs: degree-many reads, counted against
+// its machine) and writes O(n) words (one kMin proposal per component, one
+// relabel per vertex); contraction walks are adaptive reads that can exceed
+// the O(n^eps) budget on adversarial hook chains — recorded as budget
+// violations, never fatal. The cited variant stages no DHT traffic at all;
+// it only books charged rounds.
 #pragma once
 
 #include <cstdint>

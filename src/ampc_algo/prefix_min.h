@@ -5,6 +5,11 @@
 // Structure: a B-ary reduction tree with B = machine memory. Each tier is one
 // round; tiers = ceil(log_B N) = O(1/eps). Summaries carry (sum, min-prefix,
 // argmin) so the final answer locates the witness timestamp.
+//
+// Cost: all rounds measured (2 * ceil(log_B N): up-sweep + down-sweep),
+// nothing charged. DHT traffic per tier is O(N) words total — every element
+// read once, one summary written per block — and O(B) = O(n^eps) per
+// machine, tight against the budget by construction.
 #pragma once
 
 #include <cstdint>

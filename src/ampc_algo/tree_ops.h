@@ -6,6 +6,16 @@
 // arc (v, w) where w follows u in v's circular adjacency order — pure index
 // arithmetic over a CSR layout, no iteration. Rooting at r cuts the cycle at
 // r's first outgoing arc.
+//
+// Cost: successor construction and orientation are measured O(1) rounds of
+// O(m) total DHT words (O(1) words per arc, machine-partitioned, so
+// per-machine traffic is O(n^eps)); building the CSR adjacency order is
+// charged 2 rounds as `euler.sort[cited]`; the depth/subtree/preorder
+// derivations ride list ranking and inherit its measured-plus-charged cost
+// (list_ranking.h). ampc_components is fully measured: O(1/eps) hook+jump
+// phases w.h.p., each O(1) rounds; jump walks are adaptive reads whose
+// per-machine traffic stays within O(n^eps) except on adversarial chains
+// (the runtime records, never throws — A1c measures the violations).
 #pragma once
 
 #include <cstdint>

@@ -30,6 +30,10 @@ struct Metrics {
   std::uint64_t messages = 0;       // total words shipped
   std::uint64_t max_machine_recv = 0;  // max words into one machine per round
   std::map<std::string, std::uint64_t> rounds_by_label;
+
+  // MPC has no cited-cost charging; the accessor exists so the benchmark
+  // reporter (bench/bench_util.h) prices both models through one interface.
+  [[nodiscard]] std::uint64_t model_rounds() const { return rounds; }
 };
 
 // A message is addressed words; payload layout is algorithm-defined.

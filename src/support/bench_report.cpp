@@ -1,0 +1,200 @@
+#include "support/bench_report.h"
+
+#include <cstdio>
+
+namespace ampccut::bench {
+
+namespace {
+
+json::Value result_to_json(const BenchResult& r) {
+  json::Value o = json::Value::object();
+  o["name"] = r.name;
+  o["group"] = r.group;
+  json::Value params = json::Value::object();
+  for (const auto& [k, v] : r.params) params[k] = v;
+  o["params"] = std::move(params);
+  o["ns_per_op"] = r.ns_per_op;
+  o["iterations"] = r.iterations;
+  o["model_rounds"] = r.model_rounds;
+  o["measured_rounds"] = r.measured_rounds;
+  o["charged_rounds"] = r.charged_rounds;
+  o["dht_read_words"] = r.dht_read_words;
+  o["dht_write_words"] = r.dht_write_words;
+  o["max_machine_traffic"] = r.max_machine_traffic;
+  o["peak_table_words"] = r.peak_table_words;
+  o["budget_violations"] = r.budget_violations;
+  json::Value extra = json::Value::object();
+  for (const auto& [k, v] : r.extra) extra[k] = v;
+  o["extra"] = std::move(extra);
+  return o;
+}
+
+// The numeric result fields, shared by writer, parser, and validator.
+constexpr const char* kUintFields[] = {
+    "iterations",          "model_rounds",     "measured_rounds",
+    "charged_rounds",      "dht_read_words",   "dht_write_words",
+    "max_machine_traffic", "peak_table_words", "budget_violations"};
+
+std::string validate_result(const json::Value& r, const std::string& where) {
+  if (!r.is_object()) return where + ": result is not an object";
+  const json::Value* name = r.find("name");
+  if (!name || !name->is_string() || name->as_string().empty()) {
+    return where + ": missing or empty \"name\"";
+  }
+  const json::Value* group = r.find("group");
+  if (!group || !group->is_string()) return where + ": missing \"group\"";
+  const json::Value* ns = r.find("ns_per_op");
+  if (!ns || !ns->is_number() || ns->as_double() < 0) {
+    return where + ": missing or negative \"ns_per_op\"";
+  }
+  for (const char* f : kUintFields) {
+    const json::Value* v = r.find(f);
+    if (!v || !v->is_number()) {
+      return where + ": missing numeric \"" + f + "\"";
+    }
+  }
+  for (const char* map_field : {"params", "extra"}) {
+    const json::Value* m = r.find(map_field);
+    if (!m || !m->is_object()) {
+      return where + ": missing object \"" + map_field + "\"";
+    }
+    for (const auto& [k, v] : m->as_object()) {
+      if (!v.is_number()) {
+        return where + ": non-numeric entry \"" + k + "\" in \"" + map_field +
+               "\"";
+      }
+    }
+  }
+  return {};
+}
+
+std::string validate_suite_doc(const json::Value& doc) {
+  const json::Value* suite = doc.find("suite");
+  if (!suite || !suite->is_string() || suite->as_string().empty()) {
+    return "missing or empty \"suite\"";
+  }
+  const json::Value* results = doc.find("results");
+  if (!results || !results->is_array()) return "missing \"results\" array";
+  for (std::size_t i = 0; i < results->as_array().size(); ++i) {
+    std::string err = validate_result(
+        results->as_array()[i],
+        suite->as_string() + ".results[" + std::to_string(i) + "]");
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace
+
+json::Value BenchReporter::to_json() const {
+  json::Value doc = json::Value::object();
+  doc["schema"] = kBenchSchema;
+  doc["suite"] = suite_;
+  json::Value arr = json::Value::array();
+  for (const BenchResult& r : results_) arr.push_back(result_to_json(r));
+  doc["results"] = std::move(arr);
+  return doc;
+}
+
+bool BenchReporter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = to_json().dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool parse_suite(const json::Value& doc, std::string* suite,
+                 std::vector<BenchResult>* results, std::string* error) {
+  std::string err = validate_bench_json(doc);
+  if (err.empty() && doc.find("suite") == nullptr) {
+    err = "expected a per-suite document, got a merged trajectory";
+  }
+  if (!err.empty()) {
+    if (error) *error = err;
+    return false;
+  }
+  *suite = doc.find("suite")->as_string();
+  results->clear();
+  for (const json::Value& jr : doc.find("results")->as_array()) {
+    BenchResult r;
+    r.name = jr.find("name")->as_string();
+    r.group = jr.find("group")->as_string();
+    r.ns_per_op = jr.find("ns_per_op")->as_double();
+    r.iterations = jr.find("iterations")->as_uint();
+    r.model_rounds = jr.find("model_rounds")->as_uint();
+    r.measured_rounds = jr.find("measured_rounds")->as_uint();
+    r.charged_rounds = jr.find("charged_rounds")->as_uint();
+    r.dht_read_words = jr.find("dht_read_words")->as_uint();
+    r.dht_write_words = jr.find("dht_write_words")->as_uint();
+    r.max_machine_traffic = jr.find("max_machine_traffic")->as_uint();
+    r.peak_table_words = jr.find("peak_table_words")->as_uint();
+    r.budget_violations = jr.find("budget_violations")->as_uint();
+    for (const auto& [k, v] : jr.find("params")->as_object()) {
+      r.params[k] = v.as_int();
+    }
+    for (const auto& [k, v] : jr.find("extra")->as_object()) {
+      r.extra[k] = v.as_double();
+    }
+    results->push_back(std::move(r));
+  }
+  return true;
+}
+
+json::Value merge_suites(const std::vector<json::Value>& suite_docs,
+                         const std::string& group) {
+  json::Value out = json::Value::object();
+  out["schema"] = kBenchSchema;
+  out["generated_by"] = "tools/run_benches";
+  out["group"] = group;
+  json::Value suites = json::Value::array();
+  for (const json::Value& doc : suite_docs) {
+    const json::Value* results = doc.find("results");
+    const json::Value* suite = doc.find("suite");
+    if (!results || !suite) continue;
+    json::Value filtered = json::Value::array();
+    for (const json::Value& r : results->as_array()) {
+      const json::Value* g = r.find("group");
+      if (g && g->is_string() && g->as_string() == group) {
+        filtered.push_back(r);
+      }
+    }
+    if (filtered.as_array().empty()) continue;
+    json::Value entry = json::Value::object();
+    entry["suite"] = *suite;
+    entry["results"] = std::move(filtered);
+    suites.push_back(std::move(entry));
+  }
+  out["suites"] = std::move(suites);
+  return out;
+}
+
+std::string validate_bench_json(const json::Value& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  const json::Value* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != kBenchSchema) {
+    return std::string("missing or unknown \"schema\" (want ") + kBenchSchema +
+           ")";
+  }
+  if (doc.find("suite") != nullptr) return validate_suite_doc(doc);
+  // Merged trajectory shape.
+  const json::Value* group = doc.find("group");
+  if (!group || !group->is_string()) return "missing \"group\"";
+  const json::Value* suites = doc.find("suites");
+  if (!suites || !suites->is_array()) {
+    return "missing \"suite\" or \"suites\"";
+  }
+  for (const json::Value& s : suites->as_array()) {
+    std::string err = validate_suite_doc(s);
+    if (!err.empty()) return err;
+    for (const json::Value& r : s.find("results")->as_array()) {
+      if (r.find("group")->as_string() != group->as_string()) {
+        return "result group does not match trajectory group \"" +
+               group->as_string() + "\"";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ampccut::bench

@@ -1,0 +1,379 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace ampccut::json {
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  if (is_uint()) return static_cast<double>(std::get<std::uint64_t>(v_));
+  return std::get<double>(v_);
+}
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_uint()) return static_cast<std::int64_t>(std::get<std::uint64_t>(v_));
+  return static_cast<std::int64_t>(std::get<double>(v_));
+}
+
+std::uint64_t Value::as_uint() const {
+  if (is_uint()) return std::get<std::uint64_t>(v_);
+  if (is_int()) return static_cast<std::uint64_t>(std::get<std::int64_t>(v_));
+  return static_cast<std::uint64_t>(std::get<double>(v_));
+}
+
+Value& Value::operator[](std::string_view key) {
+  Object& o = std::get<Object>(v_);
+  for (auto& [k, v] : o) {
+    if (k == key) return v;
+  }
+  o.emplace_back(std::string(key), Value());
+  return o.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; null is the standard dodge
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      std::memcpy(buf, probe, sizeof(probe));
+      break;
+    }
+  }
+  out += buf;
+  // Keep a numeric marker so integers-by-value stay doubles on re-parse.
+  if (!std::strpbrk(buf, ".eE")) out += ".0";
+}
+
+void dump_rec(const Value& v, int indent, int depth, std::string& out) {
+  const auto pad = [&](int d) {
+    if (indent > 0) out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  const char* nl = indent > 0 ? "\n" : "";
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_uint()) {
+    out += std::to_string(v.as_uint());
+  } else if (v.is_double()) {
+    append_double(out, v.as_double());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const Array& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      pad(depth + 1);
+      dump_rec(a[i], indent, depth + 1, out);
+      if (i + 1 < a.size()) out += ',';
+      out += nl;
+    }
+    pad(depth);
+    out += ']';
+  } else {
+    const Object& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      pad(depth + 1);
+      append_escaped(out, o[i].first);
+      out += indent > 0 ? ": " : ":";
+      dump_rec(o[i].second, indent, depth + 1, out);
+      if (i + 1 < o.size()) out += ',';
+      out += nl;
+    }
+    pad(depth);
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    std::optional<Value> v = parse_value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        v.reset();
+        err_ = "trailing characters after document";
+      }
+    }
+    if (!v && error) {
+      *error = "offset " + std::to_string(pos_) + ": " + err_;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> fail(std::string msg) {
+    if (err_.empty()) err_ = std::move(msg);
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      std::optional<std::string> s = parse_string();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (literal("true")) return Value(true);
+    if (literal("false")) return Value(false);
+    if (literal("null")) return Value();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Value out = Value::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return fail("expected object key string");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      std::optional<Value> v = parse_value();
+      if (!v) return std::nullopt;
+      out.as_object().emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Value out = Value::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      std::optional<Value> v = parse_value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      err_ = "expected '\"'";
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        err_ = "unescaped control character in string";
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            err_ = "truncated \\u escape";
+            return std::nullopt;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              err_ = "bad hex digit in \\u escape";
+              return std::nullopt;
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs unsupported;
+          // the writer never emits them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          err_ = "unknown escape sequence";
+          return std::nullopt;
+      }
+    }
+    err_ = "unterminated string";
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return fail("malformed number");
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), i);
+        if (ec == std::errc() && p == tok.end()) return Value(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), u);
+        if (ec == std::errc() && p == tok.end()) {
+          if (u <= static_cast<std::uint64_t>(INT64_MAX)) {
+            return Value(static_cast<std::int64_t>(u));
+          }
+          return Value(u);
+        }
+      }
+      // Integral but out of 64-bit range: fall through to double.
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), d);
+    if (ec != std::errc() || p != tok.end()) return fail("malformed number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_rec(*this, indent, 0, out);
+  return out;
+}
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace ampccut::json

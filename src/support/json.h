@@ -1,0 +1,87 @@
+// Minimal JSON document model used by the benchmark trajectory
+// (BENCH_*.json) and its tooling: an order-preserving value type, a writer,
+// and a strict recursive-descent parser. Deliberately tiny — no external
+// dependency, no DOM sharing, no SAX — because the schema it carries
+// (support/bench_report.h) is small and machine-written.
+//
+// Integers are kept exact: numbers parse to Int/Uint when they have no
+// fraction/exponent and fit, Double otherwise, so round/word counters
+// round-trip bit-for-bit through dump() -> parse().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ampccut::json {
+
+class Value;
+using Array = std::vector<Value>;
+// Insertion-ordered object: stable, diffable output and no hash overhead at
+// this scale. Lookup is linear; documents here have < 20 keys per object.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(std::uint64_t u) : v_(u) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_uint() const { return std::holds_alternative<std::uint64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_uint() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  // Numeric reads with the usual widening; call only when is_number().
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+
+  // Object access. operator[] inserts a null member when absent (writer
+  // ergonomics); find returns nullptr when absent (reader ergonomics).
+  Value& operator[](std::string_view key);
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  void push_back(Value v) { std::get<Array>(v_).push_back(std::move(v)); }
+
+  // Serializes with 2-space indentation when indent > 0, compact otherwise.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  // Strict parse of a complete document (trailing garbage is an error).
+  // Returns nullopt and fills *error (if given) with "offset N: message".
+  static std::optional<Value> parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      v_;
+};
+
+}  // namespace ampccut::json

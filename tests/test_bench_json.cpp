@@ -1,0 +1,192 @@
+// The benchmark trajectory schema (support/bench_report.h, BENCHMARKS.md):
+// every document the reporter emits must round-trip through the project's
+// own JSON parser and satisfy the v1 schema — for an empty run, a labelled
+// run, and merged suites — since tools/run_benches and CI both gate on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "support/bench_report.h"
+#include "support/json.h"
+
+namespace ampccut {
+namespace {
+
+using bench::BenchReporter;
+using bench::BenchResult;
+using json::Value;
+
+// dump -> parse -> dump must be a fixed point (and the parse must succeed).
+Value roundtrip(const Value& v) {
+  const std::string text = v.dump();
+  std::string err;
+  std::optional<Value> back = Value::parse(text, &err);
+  EXPECT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->dump(), text);
+  return std::move(*back);
+}
+
+TEST(JsonValue, ScalarsRoundTrip) {
+  Value o = Value::object();
+  o["u64_max"] = std::numeric_limits<std::uint64_t>::max();
+  o["i64_min"] = std::numeric_limits<std::int64_t>::min();
+  o["pi"] = 3.141592653589793;
+  o["neg"] = -0.25;
+  o["flag"] = true;
+  o["none"] = Value();
+  o["text"] = "quote \" backslash \\ newline \n tab \t unicode \x01";
+  const Value back = roundtrip(o);
+  EXPECT_EQ(back.find("u64_max")->as_uint(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(back.find("i64_min")->as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(back.find("neg")->as_double(), -0.25);
+  EXPECT_TRUE(back.find("flag")->as_bool());
+  EXPECT_TRUE(back.find("none")->is_null());
+  EXPECT_EQ(back.find("text")->as_string(), o.find("text")->as_string());
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "{\"a\":1} trailing", "\"unterminated",
+        "nan", "01x", "{\"a\" 1}"}) {
+    std::string err;
+    EXPECT_FALSE(Value::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(BenchJson, EmptyRunIsSchemaValid) {
+  BenchReporter rep("empty_suite");
+  const Value doc = roundtrip(rep.to_json());
+  EXPECT_EQ(bench::validate_bench_json(doc), "");
+  std::string suite;
+  std::vector<BenchResult> results;
+  std::string err;
+  ASSERT_TRUE(bench::parse_suite(doc, &suite, &results, &err)) << err;
+  EXPECT_EQ(suite, "empty_suite");
+  EXPECT_TRUE(results.empty());
+}
+
+BenchResult labelled_result() {
+  BenchResult r;
+  r.name = "table_put_commit";
+  r.group = "ampc";
+  r.params["n"] = 16384;
+  r.params["eps_x10"] = 5;
+  r.ns_per_op = 11.25;
+  r.iterations = 5;
+  r.measured_rounds = 3;
+  r.charged_rounds = 2;
+  r.model_rounds = 5;
+  r.dht_read_words = 123;
+  r.dht_write_words = 456;
+  r.max_machine_traffic = 99;
+  r.peak_table_words = 1u << 20;
+  r.budget_violations = 1;
+  r.extra["ratio"] = 1.5;
+  return r;
+}
+
+TEST(BenchJson, LabelledRunRoundTripsFieldForField) {
+  BenchReporter rep("micro");
+  rep.add(labelled_result());
+  BenchResult exact;
+  exact.name = "stoer_wagner";
+  exact.group = "exact";
+  exact.ns_per_op = 2.5e9;
+  rep.add(exact);
+
+  const Value doc = roundtrip(rep.to_json());
+  EXPECT_EQ(bench::validate_bench_json(doc), "");
+
+  std::string suite;
+  std::vector<BenchResult> results;
+  std::string err;
+  ASSERT_TRUE(bench::parse_suite(doc, &suite, &results, &err)) << err;
+  EXPECT_EQ(suite, "micro");
+  ASSERT_EQ(results.size(), 2u);
+  const BenchResult& r = results[0];
+  const BenchResult want = labelled_result();
+  EXPECT_EQ(r.name, want.name);
+  EXPECT_EQ(r.group, want.group);
+  EXPECT_EQ(r.params, want.params);
+  EXPECT_DOUBLE_EQ(r.ns_per_op, want.ns_per_op);
+  EXPECT_EQ(r.iterations, want.iterations);
+  EXPECT_EQ(r.measured_rounds, want.measured_rounds);
+  EXPECT_EQ(r.charged_rounds, want.charged_rounds);
+  EXPECT_EQ(r.model_rounds, want.model_rounds);
+  EXPECT_EQ(r.dht_read_words, want.dht_read_words);
+  EXPECT_EQ(r.dht_write_words, want.dht_write_words);
+  EXPECT_EQ(r.max_machine_traffic, want.max_machine_traffic);
+  EXPECT_EQ(r.peak_table_words, want.peak_table_words);
+  EXPECT_EQ(r.budget_violations, want.budget_violations);
+  EXPECT_EQ(r.extra, want.extra);
+  EXPECT_EQ(results[1].group, "exact");
+}
+
+TEST(BenchJson, MergedSuitesFilterByGroupAndValidate) {
+  BenchReporter a("suite_a");
+  a.add(labelled_result());  // ampc
+  BenchResult ex;
+  ex.name = "karger";
+  ex.group = "exact";
+  a.add(ex);
+  BenchReporter b("suite_b");
+  BenchResult r2 = labelled_result();
+  r2.name = "dense_put_commit";
+  b.add(r2);
+  BenchReporter c("suite_exact_only");
+  BenchResult ex2;
+  ex2.name = "stoer_wagner";
+  ex2.group = "exact";
+  c.add(ex2);
+
+  const std::vector<Value> docs{a.to_json(), b.to_json(), c.to_json()};
+
+  const Value ampc = roundtrip(bench::merge_suites(docs, "ampc"));
+  EXPECT_EQ(bench::validate_bench_json(ampc), "");
+  ASSERT_EQ(ampc.find("suites")->as_array().size(), 2u);  // exact-only drops
+  for (const Value& s : ampc.find("suites")->as_array()) {
+    for (const Value& r : s.find("results")->as_array()) {
+      EXPECT_EQ(r.find("group")->as_string(), "ampc");
+    }
+  }
+
+  const Value exact = roundtrip(bench::merge_suites(docs, "exact"));
+  EXPECT_EQ(bench::validate_bench_json(exact), "");
+  ASSERT_EQ(exact.find("suites")->as_array().size(), 2u);  // b drops
+}
+
+TEST(BenchJson, ValidatorRejectsSchemaViolations) {
+  // Wrong schema string.
+  Value doc = BenchReporter("s").to_json();
+  doc["schema"] = "something-else";
+  EXPECT_NE(bench::validate_bench_json(doc), "");
+
+  // Result missing a numeric field.
+  BenchReporter rep("s");
+  rep.add(labelled_result());
+  Value bad = rep.to_json();
+  json::Object& result = bad["results"].as_array()[0].as_object();
+  result.erase(std::find_if(result.begin(), result.end(), [](const auto& kv) {
+    return kv.first == "ns_per_op";
+  }));
+  EXPECT_NE(bench::validate_bench_json(bad), "");
+
+  // Merged doc whose result group contradicts the trajectory group.
+  BenchReporter rep2("s2");
+  rep2.add(labelled_result());
+  Value merged = bench::merge_suites({rep2.to_json()}, "ampc");
+  merged["group"] = "exact";
+  EXPECT_NE(bench::validate_bench_json(merged), "");
+
+  // Not an object at all.
+  EXPECT_NE(bench::validate_bench_json(Value::array()), "");
+}
+
+}  // namespace
+}  // namespace ampccut

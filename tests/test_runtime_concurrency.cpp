@@ -1,0 +1,213 @@
+// The staged write path's concurrency contract (DESIGN.md "Runtime
+// concurrency & staging"): committed table contents and every metric the
+// benches report must be identical whether the virtual machines ran on one
+// thread or many, for all four Merge policies — including kOverwrite, whose
+// same-key races resolve deterministically by machine id.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ampc/runtime.h"
+
+namespace ampccut::ampc {
+namespace {
+
+// Everything observable about one workload run, for cross-pool comparison.
+struct Outcome {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> min_t, max_t, sum_t,
+      ovr_t;
+  std::vector<std::uint64_t> dense;
+  std::uint64_t rounds = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t max_traffic = 0;
+  std::uint64_t peak_words = 0;
+  std::uint64_t violations = 0;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_snapshot(
+    const Table<std::uint64_t, std::uint64_t>& t) {
+  auto snap = t.snapshot();
+  std::sort(snap.begin(), snap.end());
+  return snap;
+}
+
+// Two rounds over 16 machines hammering shared and private keys through all
+// four merge policies plus a dense kSum table; also a driver-side put
+// (overflow slot) between the rounds.
+Outcome run_workload(ThreadPool& pool) {
+  Config cfg = Config::for_problem(1 << 12, 0.5);
+  Runtime rt(cfg, &pool);
+  Table<std::uint64_t, std::uint64_t> tmin(rt, "min", Merge::kMin);
+  Table<std::uint64_t, std::uint64_t> tmax(rt, "max", Merge::kMax);
+  Table<std::uint64_t, std::uint64_t> tsum(rt, "sum", Merge::kSum);
+  Table<std::uint64_t, std::uint64_t> tovr(rt, "ovr", Merge::kOverwrite);
+  DenseTable<std::uint64_t> dense(rt, "dense", 64, 5, Merge::kSum);
+
+  constexpr std::size_t kMachines = 16;
+  rt.round("phase1", kMachines, [&](MachineContext& ctx) {
+    const auto m = static_cast<std::uint64_t>(ctx.machine_id());
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      tmin.put(k, 100 + ((m * 7 + k) % 13));
+      tmax.put(k, 100 + ((m * 5 + k) % 11));
+      tsum.put(k, m + k);
+      tovr.put(k, m);  // same-key overwrite race across all machines
+    }
+    tovr.put(1000 + m, m);  // private key, no race
+    dense.put(m % 8, 1);
+    dense.put(8 + m, m);
+  });
+
+  // Driver-side write outside any machine: staged in the overflow slot,
+  // visible after the next barrier.
+  tovr.put(7777, 42);
+
+  rt.round("phase2", kMachines, [&](MachineContext& ctx) {
+    const auto m = static_cast<std::uint64_t>(ctx.machine_id());
+    // Adaptive reads of phase-1 commits, then more merging writes.
+    const auto v = tsum.at(0);
+    tsum.put(4, v % 97);
+    tmin.put(2, 50 + m);
+    dense.put(m % 4, 2);
+  });
+
+  Outcome out;
+  out.min_t = sorted_snapshot(tmin);
+  out.max_t = sorted_snapshot(tmax);
+  out.sum_t = sorted_snapshot(tsum);
+  out.ovr_t = sorted_snapshot(tovr);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    out.dense.push_back(dense.raw(i));
+  }
+  const Metrics& m = rt.metrics();
+  out.rounds = m.rounds;
+  out.reads = m.dht_reads;
+  out.writes = m.dht_writes;
+  out.max_traffic = m.max_machine_traffic;
+  out.peak_words = m.peak_table_words;
+  out.violations = m.budget_violations.load();
+  return out;
+}
+
+TEST(RuntimeConcurrency, OneThreadAndManyThreadsAgreeExactly) {
+  ThreadPool one(1);
+  ThreadPool many(4);
+  const Outcome a = run_workload(one);
+  const Outcome b = run_workload(many);
+  const Outcome c = run_workload(many);  // repeatability on the same pool
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(RuntimeConcurrency, OverwriteResolvesToHighestMachineId) {
+  ThreadPool many(4);
+  Runtime rt(Config::for_problem(1 << 12, 0.5), &many);
+  Table<std::uint64_t, std::uint64_t> t(rt, "ovr", Merge::kOverwrite);
+  rt.round("race", 32, [&](MachineContext& ctx) {
+    t.put(9, static_cast<std::uint64_t>(ctx.machine_id()));
+  });
+  // Buffers commit in machine-id order, so the last writer wins
+  // deterministically — machine 31 here, regardless of thread schedule.
+  EXPECT_EQ(t.at(9), 31u);
+}
+
+TEST(RuntimeConcurrency, MergePoliciesThroughStagedPath) {
+  ThreadPool many(4);
+  Runtime rt(Config::for_problem(1 << 12, 0.5), &many);
+  Table<std::uint64_t, std::uint64_t> tmin(rt, "min", Merge::kMin);
+  Table<std::uint64_t, std::uint64_t> tmax(rt, "max", Merge::kMax);
+  Table<std::uint64_t, std::uint64_t> tsum(rt, "sum", Merge::kSum);
+  Table<std::uint64_t, std::uint64_t> tovr(rt, "ovr", Merge::kOverwrite);
+  rt.round("w", 8, [&](MachineContext& ctx) {
+    const auto m = static_cast<std::uint64_t>(ctx.machine_id());
+    tmin.put(1, 100 + m);
+    tmax.put(1, 100 + m);
+    tsum.put(1, 1);
+    tovr.put(1, m);
+  });
+  EXPECT_EQ(tmin.at(1), 100u);
+  EXPECT_EQ(tmax.at(1), 107u);
+  EXPECT_EQ(tsum.at(1), 8u);
+  EXPECT_EQ(tovr.at(1), 7u);
+}
+
+TEST(RuntimeConcurrency, LargeRoundTakesParallelCommitPath) {
+  // Above the inline-commit threshold (4096 staged entries) the two-phase
+  // commit fans out over the pool; contents must match the 1-thread run.
+  constexpr std::uint64_t kItems = 1 << 14;
+  const auto run = [&](ThreadPool& pool) {
+    Config cfg = Config::for_problem(kItems, 0.5);
+    Runtime rt(cfg, &pool);
+    DenseTable<std::uint64_t> d(rt, "d", kItems, 0, Merge::kSum);
+    Table<std::uint64_t, std::uint64_t> t(rt, "t", Merge::kMin, 8);
+    rt.round_over_items("bulk", kItems, [&](MachineContext&, std::uint64_t i) {
+      d.put(i, i * 3 + 1);
+      t.put(i % 1024, i);
+    });
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < kItems; ++i) out.push_back(d.raw(i));
+    for (std::uint64_t k = 0; k < 1024; ++k) out.push_back(t.at(k));
+    out.push_back(rt.metrics().dht_writes);
+    out.push_back(rt.metrics().peak_table_words);
+    return out;
+  };
+  ThreadPool one(1);
+  ThreadPool many(4);
+  EXPECT_EQ(run(one), run(many));
+}
+
+TEST(RuntimeConcurrency, BudgetViolationCountingUnchanged) {
+  const auto violations = [](ThreadPool& pool) {
+    Config cfg = Config::for_problem(1 << 12, 0.5);
+    cfg.machine_memory_words = 4;
+    Runtime rt(cfg, &pool);
+    DenseTable<std::uint64_t> t(rt, "d", 64, 1);
+    rt.round("r", 6, [&](MachineContext& ctx) {
+      // Machines 0/2/4 read 10 words (over the 4-word budget); odd machines
+      // stay under it.
+      const int reads = ctx.machine_id() % 2 == 0 ? 10 : 2;
+      for (int i = 0; i < reads; ++i) (void)t.get(static_cast<std::uint64_t>(i));
+    });
+    return rt.metrics().budget_violations.load();
+  };
+  ThreadPool one(1);
+  ThreadPool many(4);
+  EXPECT_EQ(violations(one), 3u);
+  EXPECT_EQ(violations(many), 3u);
+}
+
+TEST(RuntimeConcurrency, DriverWritesCommitLastEvenWhenRoundsGrow) {
+  // A driver-side put staged between rounds must commit AFTER every machine
+  // buffer of the next round — including machines that did not exist in the
+  // previous round (the overflow buffer must not be repurposed as a machine
+  // buffer when begin_round grows the buffer vector).
+  ThreadPool many(4);
+  Runtime rt(Config::for_problem(1 << 12, 0.5), &many);
+  Table<std::uint64_t, std::uint64_t> t(rt, "ovr", Merge::kOverwrite);
+  rt.round("small", 4, [&](MachineContext& ctx) {
+    t.put(100 + ctx.machine_id(), 1);
+  });
+  t.put(5, 999);  // driver-side, staged for the next barrier
+  rt.round("grown", 8, [&](MachineContext& ctx) {
+    t.put(5, static_cast<std::uint64_t>(ctx.machine_id()));
+  });
+  EXPECT_EQ(t.at(5), 999u);  // driver write wins: overflow commits last
+}
+
+TEST(RuntimeConcurrency, TableRegisteredMidRoundStagesCorrectly) {
+  // A table constructed inside a round body (machine 0 only) must still get
+  // machine-indexed staging buffers via register_table.
+  ThreadPool many(4);
+  Runtime rt(Config::for_problem(1 << 12, 0.5), &many);
+  std::optional<DenseTable<std::uint64_t>> late;
+  rt.round("create", 1, [&](MachineContext&) {
+    late.emplace(rt, "late", 8, 0);
+    late->put(3, 30);
+  });
+  EXPECT_EQ(late->raw(3), 30u);
+}
+
+}  // namespace
+}  // namespace ampccut::ampc
