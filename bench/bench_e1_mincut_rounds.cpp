@@ -18,6 +18,7 @@ using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
   const Mode mode = mode_of(argc, argv);
+  const std::uint32_t threads = threads_of(argc, argv);
   BenchReporter rep("e1_mincut_rounds");
   std::printf("E1 / Theorem 1 — AMPC min cut rounds vs n (family: random "
               "connected, m = 4n)\n\n");
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     ampc::AmpcMinCutOptions aopt;
     aopt.recursion.seed = 7;
     aopt.recursion.trials = 1;
+    aopt.recursion.threads = threads;
     ampc::AmpcMinCutReport ampc_r;
     const double ampc_ns =
         time_once_ns([&] { ampc_r = ampc::ampc_approx_min_cut(g, aopt); });
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
     mpc::MpcMinCutOptions mopt;
     mopt.recursion.seed = 7;
     mopt.recursion.trials = 1;
+    mopt.recursion.threads = threads;
     mpc::MpcMinCutReport mpc_r;
     const double mpc_ns =
         time_once_ns([&] { mpc_r = mpc::mpc_gn_min_cut(g, mopt); });

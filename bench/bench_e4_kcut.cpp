@@ -15,6 +15,7 @@ using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
   const Mode mode = mode_of(argc, argv);
+  const std::uint32_t threads = threads_of(argc, argv);
   BenchReporter rep("e4_kcut");
 
   std::printf("E4a / Theorem 2 — quality vs exact k-cut (n=10 ER graphs, 3 "
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
       ampc::AmpcMinCutOptions o;
       o.recursion.seed = s;
       o.recursion.trials = 2;
+      o.recursion.threads = threads;
       const auto got = ampc::ampc_apx_split_k_cut(g, k, o);
       const auto exact = brute_force_min_k_cut(g, k);
       const double ratio = static_cast<double>(got.result.weight) /
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
     ampc::AmpcMinCutOptions o;
     o.recursion.seed = 5;
     o.recursion.trials = 1;
+    o.recursion.threads = threads;
     ampc::AmpcKCutReport got;
     const double ns =
         time_once_ns([&] { got = ampc::ampc_apx_split_k_cut(g, k, o); });

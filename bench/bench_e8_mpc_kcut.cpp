@@ -13,6 +13,7 @@ using namespace ampccut::bench;
 
 int main(int argc, char** argv) {
   const Mode mode = mode_of(argc, argv);
+  const std::uint32_t threads = threads_of(argc, argv);
   BenchReporter rep("e8_mpc_kcut");
   const VertexId size = mode == Mode::kFull ? 512 : 256;
   const std::uint32_t kmax =
@@ -26,12 +27,14 @@ int main(int argc, char** argv) {
     mpc::MpcMinCutOptions mo;
     mo.recursion.seed = 5;
     mo.recursion.trials = 1;
+    mo.recursion.threads = threads;
     mpc::MpcKCutReport mpc_r;
     const double mpc_ns =
         time_once_ns([&] { mpc_r = mpc::mpc_gn_k_cut(g, k, mo); });
     ampc::AmpcMinCutOptions ao;
     ao.recursion.seed = 5;
     ao.recursion.trials = 1;
+    ao.recursion.threads = threads;
     ampc::AmpcKCutReport ampc_r;
     const double ampc_ns =
         time_once_ns([&] { ampc_r = ampc::ampc_apx_split_k_cut(g, k, ao); });

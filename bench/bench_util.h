@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -44,6 +45,16 @@ inline Mode mode_of(int argc, char** argv) {
   if (has_flag(argc, argv, "--smoke")) return Mode::kSmoke;
   if (has_flag(argc, argv, "--full")) return Mode::kFull;
   return Mode::kDefault;
+}
+
+// "--threads N" for the solver benches: recursion-driver parallelism
+// (ApproxMinCutOptions::threads). Absent = 0 = hardware concurrency;
+// 1 recovers the exact sequential execution path. Thread count never
+// changes results, only wall time.
+inline std::uint32_t threads_of(int argc, char** argv) {
+  const char* v = arg_value(argc, argv, "--threads");
+  if (v == nullptr) return 0;
+  return static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
 }
 
 class TablePrinter {

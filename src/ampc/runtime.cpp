@@ -1,5 +1,7 @@
 #include "ampc/runtime.h"
 
+#include <string_view>
+
 namespace ampccut::ampc {
 
 thread_local MachineContext* MachineContext::current_ = nullptr;
@@ -14,10 +16,25 @@ constexpr std::uint64_t kParallelCommitThreshold = 4096;
 Runtime::Runtime(Config cfg, ThreadPool* pool)
     : cfg_(cfg), pool_(pool != nullptr ? *pool : ThreadPool::shared()) {}
 
+namespace {
+
+// Heterogeneous bump: only a label's first occurrence allocates its string.
+void bump_label(std::map<std::string, std::uint64_t, std::less<>>& map,
+                const char* label, std::uint64_t by) {
+  const auto it = map.find(std::string_view(label));
+  if (it != map.end()) {
+    it->second += by;
+  } else {
+    map.emplace(label, by);
+  }
+}
+
+}  // namespace
+
 void Runtime::round(const char* label, std::size_t num_machines,
                     const std::function<void(MachineContext&)>& body) {
   ++metrics_.rounds;
-  metrics_.rounds_by_label[label] += 1;
+  bump_label(metrics_.rounds_by_label, label, 1);
   {
     // Size every table's machine staging buffers (the overflow buffer for
     // driver-side writes is a separate member of each table); tables
@@ -55,8 +72,8 @@ void Runtime::round(const char* label, std::size_t num_machines,
 
 void Runtime::charge_rounds(const char* label, std::uint64_t rounds) {
   metrics_.charged_rounds += rounds;
-  metrics_.rounds_by_label[label] += 0;  // ensure the label appears
-  metrics_.charged_by_label[label] += rounds;
+  bump_label(metrics_.rounds_by_label, label, 0);  // ensure the label appears
+  bump_label(metrics_.charged_by_label, label, rounds);
 }
 
 void Runtime::register_table(detail::TableBase* table) {
@@ -72,41 +89,45 @@ void Runtime::unregister_table(detail::TableBase* table) {
 
 void Runtime::commit_all() {
   std::lock_guard<std::mutex> lock(tables_mu_);
-  // Gather the tables with staged writes and their two commit phases as
-  // flat task lists (the pool is not reentrant, so phases fan out from here
-  // rather than nesting a parallel_for per table).
-  struct Task {
-    detail::TableBase* table;
-    std::size_t index;
-  };
+  // Seal every table's dirty-buffer list (O(buffers actually written), not
+  // O(machines)) and gather the ones with staged writes.
   std::vector<detail::TableBase*> staged;
-  std::vector<Task> partitions;
-  std::vector<Task> shards;
   std::uint64_t staged_total = 0;
   for (auto* t : tables_) {
-    const std::uint64_t entries = t->staged_entries();
+    const std::uint64_t entries = t->seal_staged();
     if (entries == 0) continue;
     staged_total += entries;
     staged.push_back(t);
-    for (std::size_t b = 0, nb = t->num_staging_buffers(); b < nb; ++b) {
-      partitions.push_back({t, b});
-    }
-    for (std::size_t s = 0, ns = t->num_commit_shards(); s < ns; ++s) {
-      shards.push_back({t, s});
-    }
   }
   if (staged_total >= kParallelCommitThreshold) {
-    // Phase A: partition each staging buffer by destination shard.
+    // Flatten the two commit phases as task lists (phases fan out from here
+    // rather than nesting a parallel_for per table, keeping one barrier per
+    // phase across all tables).
+    struct Task {
+      detail::TableBase* table;
+      std::size_t index;
+    };
+    std::vector<Task> partitions;
+    std::vector<Task> shards;
+    for (auto* t : staged) {
+      for (std::size_t d = 0, nd = t->num_dirty_buffers(); d < nd; ++d) {
+        partitions.push_back({t, d});
+      }
+      for (std::size_t s = 0, ns = t->num_commit_shards(); s < ns; ++s) {
+        shards.push_back({t, s});
+      }
+    }
+    // Phase A: partition each dirty staging buffer by destination shard.
     pool_.parallel_for(partitions.size(), [&](std::size_t i) {
       partitions[i].table->partition_staged(partitions[i].index);
     });
-    // Phase B: apply each shard's slice of every buffer, machine order.
+    // Phase B: apply each shard's slice of every dirty buffer, machine order.
     pool_.parallel_for(shards.size(), [&](std::size_t i) {
       shards[i].table->commit_shard(shards[i].index);
     });
     for (auto* t : staged) t->finish_commit();
   } else {
-    for (auto* t : staged) t->commit();
+    for (auto* t : staged) t->commit_sealed();
   }
   std::uint64_t words = 0;
   for (auto* t : tables_) words += t->size_words();

@@ -77,8 +77,11 @@ struct Metrics {
   std::uint64_t max_machine_traffic = 0;  // per machine per round
   std::uint64_t peak_table_words = 0;     // total-memory proxy
   std::atomic<std::uint64_t> budget_violations{0};
-  std::map<std::string, std::uint64_t> rounds_by_label;
-  std::map<std::string, std::uint64_t> charged_by_label;
+  // Transparent comparators: the per-round bump looks labels up by const
+  // char* without materializing a std::string (rounds are fine-grained
+  // enough that the temporary showed up in profiles).
+  std::map<std::string, std::uint64_t, std::less<>> rounds_by_label;
+  std::map<std::string, std::uint64_t, std::less<>> charged_by_label;
 
   [[nodiscard]] std::uint64_t model_rounds() const {
     return rounds + charged_rounds;
@@ -87,44 +90,95 @@ struct Metrics {
 
 namespace detail {
 
+// Tracks which staging buffers received entries this round, so the barrier
+// commit touches only those instead of scanning one buffer per virtual
+// machine per table (the scan dominated commit cost on fine-grained rounds).
+// mark() runs at most once per buffer per round — on the buffer's first
+// entry — and takes a slot from a relaxed atomic cursor, so writer threads
+// only ever contend on the cursor. seal() orders the ids ascending, which is
+// machine-id commit order with the overflow sentinel naturally last.
+class DirtyBuffers {
+ public:
+  static constexpr std::uint32_t kOverflow = ~0u;  // the driver-side buffer
+
+  // Never concurrent with mark(); `n` must cover every markable id + 1 slot
+  // for the overflow sentinel.
+  void ensure_capacity(std::size_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+  }
+
+  void mark(std::uint32_t id) {
+    slots_[count_.fetch_add(1, std::memory_order_relaxed)] = id;
+  }
+
+  // Driver thread, after the round barrier (the pool join orders all marks
+  // before this). Returns the number of dirty buffers.
+  std::size_t seal() {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    std::sort(slots_.begin(), slots_.begin() + n);
+    return n;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t id_at(std::size_t i) const { return slots_[i]; }
+  void clear() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+  std::atomic<std::uint32_t> count_{0};
+};
+
 // Commit protocol between Runtime and the tables. Staged writes live in
 // per-machine buffers (one per virtual machine plus a mutex-guarded overflow
-// slot for driver-side writes outside any machine); the barrier commit runs
-// two phases the runtime can fan out over the thread pool:
-//   phase A  partition_staged(b)  — group buffer b's entries by shard
-//                                   (independent across buffers);
-//   phase B  commit_shard(s)      — apply shard s's slice of every buffer,
-//                                   buffers in machine-id order (independent
-//                                   across shards: disjoint key ranges).
-// finish_commit() clears the buffers (capacity retained round-over-round).
+// slot for driver-side writes outside any machine); each table tracks the
+// buffers that actually received writes (DirtyBuffers above). The barrier
+// commit seals that list, then runs two phases the runtime can fan out over
+// the thread pool:
+//   phase A  partition_staged(d)  — group the d-th dirty buffer's entries by
+//                                   shard (independent across buffers);
+//   phase B  commit_shard(s)      — apply shard s's slice of every dirty
+//                                   buffer, in sealed (machine-id) order
+//                                   (independent across shards: disjoint key
+//                                   ranges).
+// finish_commit() clears the dirty buffers (capacity retained).
 class TableBase {
  public:
   virtual ~TableBase() = default;
 
   // Ensures at least `num_buffers` machine staging buffers exist (the
-  // overflow buffer is separate and always addressed as the last index).
+  // overflow buffer is separate and always addressed by the sentinel).
   // Called by the runtime at round start and at registration — never
   // concurrently with put().
   virtual void begin_round(std::size_t num_buffers) = 0;
 
-  [[nodiscard]] virtual std::size_t num_staging_buffers() const = 0;
+  // Seals the round's dirty-buffer list for commit (driver thread, between
+  // rounds). Returns the number of staged entries; 0 means nothing to do.
+  virtual std::uint64_t seal_staged() = 0;
+  [[nodiscard]] virtual std::size_t num_dirty_buffers() const = 0;
   [[nodiscard]] virtual std::size_t num_commit_shards() const = 0;
-  [[nodiscard]] virtual std::uint64_t staged_entries() const = 0;
-  virtual void partition_staged(std::size_t buffer) = 0;
+  virtual void partition_staged(std::size_t dirty_index) = 0;
   virtual void commit_shard(std::size_t shard) = 0;
   virtual void finish_commit() = 0;
   [[nodiscard]] virtual std::uint64_t size_words() const = 0;
 
-  // Serial commit (tests / driver-side flushes): same phase order as the
+  // Serial commit of an already-sealed table: same phase order as the
   // parallel path, hence bit-identical results.
-  void commit() {
-    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
-      partition_staged(b);
+  void commit_sealed() {
+    for (std::size_t d = 0, nd = num_dirty_buffers(); d < nd; ++d) {
+      partition_staged(d);
     }
     for (std::size_t s = 0, ns = num_commit_shards(); s < ns; ++s) {
       commit_shard(s);
     }
     finish_commit();
+  }
+
+  // Standalone serial commit (tests / driver-side flushes).
+  void commit() {
+    seal_staged();
+    commit_sealed();
   }
 };
 
@@ -273,12 +327,18 @@ class Table final : public detail::TableBase {
     if (auto* ctx = MachineContext::current()) {
       ctx->count_write(words_per_kv());
       Buffer& buf = buffers_[ctx->machine_id()];
+      if (buf.entries.empty()) {
+        dirty_.mark(static_cast<std::uint32_t>(ctx->machine_id()));
+      }
       buf.entries.push_back({shard, key, std::move(value)});
       return;
     }
     // Driver-side write outside any machine: the dedicated overflow buffer,
     // committed after every machine's buffer.
     std::lock_guard<std::mutex> lock(overflow_mu_);
+    if (overflow_.entries.empty()) {
+      dirty_.mark(detail::DirtyBuffers::kOverflow);
+    }
     overflow_.entries.push_back({shard, key, std::move(value)});
   }
 
@@ -317,28 +377,28 @@ class Table final : public detail::TableBase {
 
   void begin_round(std::size_t num_buffers) override {
     if (buffers_.size() < num_buffers) buffers_.resize(num_buffers);
+    dirty_.ensure_capacity(buffers_.size() + 1);  // + the overflow sentinel
   }
 
-  [[nodiscard]] std::size_t num_staging_buffers() const override {
-    return buffers_.size() + 1;  // + the overflow buffer, always last
+  std::uint64_t seal_staged() override {
+    const std::size_t nd = dirty_.seal();
+    std::uint64_t n = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      n += buffer_at(dirty_.id_at(d)).entries.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_dirty_buffers() const override {
+    return dirty_.count();
   }
 
   [[nodiscard]] std::size_t num_commit_shards() const override {
     return shards_vec_.size();
   }
 
-  [[nodiscard]] std::uint64_t staged_entries() const override {
-    std::uint64_t n = overflow_.entries.size();
-    for (const auto& b : buffers_) n += b.entries.size();
-    return n;
-  }
-
-  void partition_staged(std::size_t buffer) override {
-    Buffer& buf = buffer_at(buffer);
-    if (buf.entries.empty()) {
-      buf.offsets.clear();  // commit_shard skips unpartitioned buffers
-      return;
-    }
+  void partition_staged(std::size_t dirty_index) override {
+    Buffer& buf = buffer_at(dirty_.id_at(dirty_index));
     const std::size_t shards = shards_vec_.size();
     buf.offsets.assign(shards + 1, 0);
     for (const Staged& e : buf.entries) ++buf.offsets[e.shard + 1];
@@ -355,9 +415,8 @@ class Table final : public detail::TableBase {
 
   void commit_shard(std::size_t shard) override {
     auto& data = shards_vec_[shard].data;
-    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
-      Buffer& buf = buffer_at(b);
-      if (buf.offsets.empty()) continue;
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      Buffer& buf = buffer_at(dirty_.id_at(d));  // sealed machine-id order
       const std::uint32_t begin = buf.offsets[shard];
       const std::uint32_t end = buf.offsets[shard + 1];
       for (std::uint32_t i = begin; i < end; ++i) {
@@ -373,12 +432,13 @@ class Table final : public detail::TableBase {
   }
 
   void finish_commit() override {
-    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
-      Buffer& buf = buffer_at(b);
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      Buffer& buf = buffer_at(dirty_.id_at(d));
       buf.entries.clear();
       buf.parted.clear();
       buf.offsets.clear();
     }
+    dirty_.clear();
   }
 
  private:
@@ -407,11 +467,12 @@ class Table final : public detail::TableBase {
     return Hash{}(key) % shards_vec_.size();
   }
 
-  // The overflow buffer is addressed as the last staging buffer — a member
-  // of its own (not a vector slot) so begin_round growth can never
-  // repurpose it as a machine buffer and demote its commit-last position.
-  [[nodiscard]] Buffer& buffer_at(std::size_t b) {
-    return b < buffers_.size() ? buffers_[b] : overflow_;
+  // The overflow buffer is addressed by the dirty sentinel — a member of its
+  // own (not a vector slot) so begin_round growth can never repurpose it as
+  // a machine buffer, and the sentinel's max value keeps its commit-last
+  // position through the sealed ordering.
+  [[nodiscard]] Buffer& buffer_at(std::uint32_t id) {
+    return id == detail::DirtyBuffers::kOverflow ? overflow_ : buffers_[id];
   }
 
   Runtime& rt_;
@@ -421,6 +482,7 @@ class Table final : public detail::TableBase {
   std::vector<Buffer> buffers_;  // grown by begin_round, one per machine
   Buffer overflow_;              // driver-side writes, commits last
   std::mutex overflow_mu_;
+  detail::DirtyBuffers dirty_;
 };
 
 // Dense uint64-indexed table (a hash table whose keys are 0..size-1): same
@@ -453,11 +515,17 @@ class DenseTable final : public detail::TableBase {
     const auto shard = static_cast<std::uint32_t>(i / shard_size_);
     if (auto* ctx = MachineContext::current()) {
       ctx->count_write(words_per_v());
-      buffers_[ctx->machine_id()].entries.push_back(
-          {shard, i, std::move(value)});
+      Buffer& buf = buffers_[ctx->machine_id()];
+      if (buf.entries.empty()) {
+        dirty_.mark(static_cast<std::uint32_t>(ctx->machine_id()));
+      }
+      buf.entries.push_back({shard, i, std::move(value)});
       return;
     }
     std::lock_guard<std::mutex> lock(overflow_mu_);
+    if (overflow_.entries.empty()) {
+      dirty_.mark(detail::DirtyBuffers::kOverflow);
+    }
     overflow_.entries.push_back({shard, i, std::move(value)});
   }
 
@@ -474,28 +542,28 @@ class DenseTable final : public detail::TableBase {
 
   void begin_round(std::size_t num_buffers) override {
     if (buffers_.size() < num_buffers) buffers_.resize(num_buffers);
+    dirty_.ensure_capacity(buffers_.size() + 1);  // + the overflow sentinel
   }
 
-  [[nodiscard]] std::size_t num_staging_buffers() const override {
-    return buffers_.size() + 1;  // + the overflow buffer, always last
+  std::uint64_t seal_staged() override {
+    const std::size_t nd = dirty_.seal();
+    std::uint64_t n = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      n += buffer_at(dirty_.id_at(d)).entries.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_dirty_buffers() const override {
+    return dirty_.count();
   }
 
   [[nodiscard]] std::size_t num_commit_shards() const override {
     return data_.empty() ? 1 : ceil_div(data_.size(), shard_size_);
   }
 
-  [[nodiscard]] std::uint64_t staged_entries() const override {
-    std::uint64_t n = overflow_.entries.size();
-    for (const auto& b : buffers_) n += b.entries.size();
-    return n;
-  }
-
-  void partition_staged(std::size_t buffer) override {
-    Buffer& buf = buffer_at(buffer);
-    if (buf.entries.empty()) {
-      buf.offsets.clear();
-      return;
-    }
+  void partition_staged(std::size_t dirty_index) override {
+    Buffer& buf = buffer_at(dirty_.id_at(dirty_index));
     const std::size_t shards = num_commit_shards();
     buf.offsets.assign(shards + 1, 0);
     for (const Staged& e : buf.entries) ++buf.offsets[e.shard + 1];
@@ -511,9 +579,8 @@ class DenseTable final : public detail::TableBase {
   }
 
   void commit_shard(std::size_t shard) override {
-    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
-      Buffer& buf = buffer_at(b);
-      if (buf.offsets.empty()) continue;
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      Buffer& buf = buffer_at(dirty_.id_at(d));  // sealed machine-id order
       const std::uint32_t begin = buf.offsets[shard];
       const std::uint32_t end = buf.offsets[shard + 1];
       for (std::uint32_t i = begin; i < end; ++i) {
@@ -524,12 +591,13 @@ class DenseTable final : public detail::TableBase {
   }
 
   void finish_commit() override {
-    for (std::size_t b = 0, nb = num_staging_buffers(); b < nb; ++b) {
-      Buffer& buf = buffer_at(b);
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      Buffer& buf = buffer_at(dirty_.id_at(d));
       buf.entries.clear();
       buf.parted.clear();
       buf.offsets.clear();
     }
+    dirty_.clear();
   }
 
  private:
@@ -550,8 +618,8 @@ class DenseTable final : public detail::TableBase {
     return (sizeof(V) + 7) / 8;
   }
 
-  [[nodiscard]] Buffer& buffer_at(std::size_t b) {
-    return b < buffers_.size() ? buffers_[b] : overflow_;
+  [[nodiscard]] Buffer& buffer_at(std::uint32_t id) {
+    return id == detail::DirtyBuffers::kOverflow ? overflow_ : buffers_[id];
   }
 
   Runtime& rt_;
@@ -562,6 +630,7 @@ class DenseTable final : public detail::TableBase {
   std::vector<Buffer> buffers_;
   Buffer overflow_;
   std::mutex overflow_mu_;
+  detail::DirtyBuffers dirty_;
 };
 
 }  // namespace ampccut::ampc

@@ -1,9 +1,12 @@
 #include "ampc_algo/kcut_ampc.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 
 #include "support/check.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 
 namespace ampccut::ampc {
 
@@ -11,14 +14,17 @@ AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
                                     const AmpcMinCutOptions& opt) {
   AmpcKCutReport report;
   // Per-iteration round maxima: the greedy loop calls the splitter once per
-  // component per iteration; components are model-parallel. Iterations are
-  // delimited by watching the iteration counter grow.
+  // component per iteration; components are model-parallel (and, with a
+  // pool, actually parallel — the max/sum accumulation below is commutative,
+  // so the report is thread-count independent). on_iteration runs on the
+  // driving thread between fan-outs and flushes the parallel round-group.
+  std::mutex mu;
   std::uint64_t iter_measured = 0;
   std::uint64_t iter_charged = 0;
-  std::uint64_t salt = 0;
   std::uint32_t calls_this_iter = 0;
 
   auto flush_iteration = [&]() {
+    std::lock_guard<std::mutex> lock(mu);
     report.measured_rounds += iter_measured;
     report.charged_rounds += iter_charged + 1;  // +1: component count [4]
     iter_measured = 0;
@@ -26,21 +32,26 @@ AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
     calls_this_iter = 0;
   };
 
-  // apx_split_k_cut solves all components, picks the cheapest cut, then
-  // recomputes components — one pass per greedy iteration; on_iteration
-  // fires at each pass boundary and flushes the parallel round-group.
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = resolve_recursion_pool(opt.recursion.threads, owned);
+  AmpcMinCutOptions base = opt;
+  if (owned != nullptr) base.recursion.threads = 1;  // see kcut.cpp
+
   const ApproxKCutResult r = apx_split_k_cut(
       g, k,
-      [&](const WGraph& component) {
-        AmpcMinCutOptions o = opt;
-        o.recursion.seed = splitmix64(opt.recursion.seed ^ ++salt);
+      [&, base](const WGraph& component, std::uint64_t call_seq) {
+        AmpcMinCutOptions o = base;
+        o.recursion.seed = splitmix64(base.recursion.seed ^ call_seq);
         const AmpcMinCutReport sub = ampc_approx_min_cut(component, o);
-        iter_measured = std::max(iter_measured, sub.measured_rounds);
-        iter_charged = std::max(iter_charged, sub.charged_rounds);
-        ++calls_this_iter;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          iter_measured = std::max(iter_measured, sub.measured_rounds);
+          iter_charged = std::max(iter_charged, sub.charged_rounds);
+          ++calls_this_iter;
+        }
         return MinCutResult{sub.weight, sub.side};
       },
-      [&](std::uint32_t) { flush_iteration(); });
+      [&](std::uint32_t) { flush_iteration(); }, pool);
   if (calls_this_iter > 0) flush_iteration();
   report.result = r;
   return report;

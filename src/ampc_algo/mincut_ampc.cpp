@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "ampc_algo/singleton_ampc.h"
 #include "exact/stoer_wagner.h"
@@ -14,7 +15,11 @@ AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
                                      const AmpcMinCutOptions& opt) {
   AmpcMinCutReport report;
 
-  // Per-level maxima (instances of one level are model-parallel).
+  // Per-level maxima (instances of one level are model-parallel). The
+  // recursion driver invokes the hooks concurrently; every accumulation is a
+  // commutative max/sum, so the mutex only guards the containers — the
+  // totals are the same for every thread count.
+  std::mutex mu;
   std::map<std::uint32_t, std::uint64_t> level_measured;
   std::map<std::uint32_t, std::uint64_t> level_charged;
   bool any_local = false;
@@ -27,6 +32,7 @@ AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
     sopt.use_boruvka_msf = opt.use_boruvka_msf;
     const SingletonCutResult r = ampc_min_singleton_cut(rt, inst, o, sopt);
     const Metrics& m = rt.metrics();
+    std::lock_guard<std::mutex> lock(mu);
     level_measured[level] = std::max(level_measured[level], m.rounds);
     level_charged[level] = std::max(level_charged[level], m.charged_rounds);
     report.dht_reads += m.dht_reads;
@@ -39,7 +45,11 @@ AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
     return r;
   };
   backend.solve_local = [&](const WGraph& inst, std::uint32_t) {
-    any_local = true;  // leaf instances fit one machine: one parallel round
+    {
+      // Leaf instances fit one machine: one parallel round, counted once.
+      std::lock_guard<std::mutex> lock(mu);
+      any_local = true;
+    }
     return stoer_wagner_min_cut(inst);
   };
   backend.on_level = [](std::uint32_t, std::uint64_t) {};

@@ -63,8 +63,18 @@ class AmpcPathMax {
       t_ptime_->seed(v, tree.parent_time[v]);
       t_gpos_->seed(v, gpos[v]);
     }
+    // All sparse levels live in ONE dense table (level k at
+    // [level_off_[k], ...)): same stored words, same counted reads, but one
+    // table registration instead of log n per tracker call — table churn
+    // dominated the small-instance (k-cut component) regime.
     const std::uint32_t levels = n_ >= 2 ? floor_log2(n_) + 1 : 1;
-    sparse_.reserve(levels);
+    level_off_.assign(levels + 1, 0);
+    for (std::uint32_t k = 0; k < levels; ++k) {
+      const std::uint32_t len = (1u << k) <= n_ ? n_ - (1u << k) + 1 : 0;
+      level_off_[k + 1] = level_off_[k] + len;
+    }
+    sparse_ = std::make_unique<DenseTable<std::uint64_t>>(
+        rt, "pm.sparse", level_off_[levels]);
     std::vector<TimeStep> cur = base;
     for (std::uint32_t k = 0; k < levels; ++k) {
       const std::uint32_t span = 1u << k;
@@ -76,52 +86,67 @@ class AmpcPathMax {
         }
         cur = std::move(nxt);
       }
-      auto t = std::make_unique<DenseTable<std::uint64_t>>(
-          rt, "pm.sparse", cur.size());
-      for (std::uint32_t i = 0; i < cur.size(); ++i) t->seed(i, cur[i]);
-      sparse_.push_back(std::move(t));
+      for (std::uint32_t i = 0; i < cur.size(); ++i) {
+        sparse_->seed(level_off_[k] + i, cur[i]);
+      }
     }
   }
 
-  TimeStep query(VertexId u, VertexId v) const {
+  // The hottest measured read path of the whole AMPC pipeline (one query per
+  // edge endpoint per level). Reads go through raw() with a local counter
+  // that is flushed to the caller's machine context once per query — the
+  // counted word totals are exactly what per-access get() would have
+  // produced, without a thread-local lookup per word.
+  TimeStep query(MachineContext* ctx, VertexId u, VertexId v) const {
     if (u == v) return 0;
+    std::uint64_t reads = 0;
+    const auto rd = [&reads](const DenseTable<std::uint64_t>& t,
+                             std::uint64_t i) {
+      ++reads;  // words_per_v() == 1 for uint64 values
+      return t.raw(i);
+    };
     TimeStep best = 0;
-    std::uint64_t hu = t_head_->get(u);
-    std::uint64_t hv = t_head_->get(v);
+    std::uint64_t hu = rd(*t_head_, u);
+    std::uint64_t hv = rd(*t_head_, v);
     while (hu != hv) {
       // Climb the side whose head is deeper.
-      if (t_depth_->get(hu) < t_depth_->get(hv)) {
+      if (rd(*t_depth_, hu) < rd(*t_depth_, hv)) {
         std::swap(u, v);
         std::swap(hu, hv);
       }
-      best = std::max(best, range_max(t_gpos_->get(hu), t_gpos_->get(u)));
-      best = std::max(best, static_cast<TimeStep>(t_ptime_->get(hu)));
-      u = static_cast<VertexId>(t_parent_->get(hu));
-      hu = t_head_->get(u);
+      best = std::max(best, range_max(rd(*t_gpos_, hu), rd(*t_gpos_, u), reads));
+      best = std::max(best, static_cast<TimeStep>(rd(*t_ptime_, hu)));
+      u = static_cast<VertexId>(rd(*t_parent_, hu));
+      hu = rd(*t_head_, u);
     }
     if (u != v) {
-      const bool u_higher = t_depth_->get(u) < t_depth_->get(v);
+      const bool u_higher = rd(*t_depth_, u) < rd(*t_depth_, v);
       const VertexId hi = u_higher ? u : v;
       const VertexId lo = u_higher ? v : u;
       best = std::max(best,
-                      range_max(t_gpos_->get(hi) + 1, t_gpos_->get(lo)));
+                      range_max(rd(*t_gpos_, hi) + 1, rd(*t_gpos_, lo), reads));
     }
+    if (ctx != nullptr) ctx->count_read(reads);
     return best;
   }
 
  private:
-  TimeStep range_max(std::uint64_t lo, std::uint64_t hi) const {
+  TimeStep range_max(std::uint64_t lo, std::uint64_t hi,
+                     std::uint64_t& reads) const {
     REPRO_DCHECK(lo <= hi);
     const auto len = static_cast<std::uint32_t>(hi - lo + 1);
     const std::uint32_t k = floor_log2(len);
-    return static_cast<TimeStep>(
-        std::max(sparse_[k]->get(lo), sparse_[k]->get(hi + 1 - (1ull << k))));
+    reads += 2;
+    const std::uint64_t off = level_off_[k];
+    return static_cast<TimeStep>(std::max(
+        sparse_->raw(off + lo), sparse_->raw(off + hi + 1 - (1ull << k))));
   }
 
   VertexId n_;
   std::unique_ptr<DenseTable<std::uint64_t>> t_head_, t_parent_, t_depth_,
       t_ptime_, t_gpos_;
-  std::vector<std::unique_ptr<DenseTable<std::uint64_t>>> sparse_;
+  std::unique_ptr<DenseTable<std::uint64_t>> sparse_;  // levels concatenated
+  std::vector<std::uint32_t> level_off_;
 };
 
 // Outcome of the arithmetic component walk for (x, level): the component's
@@ -198,18 +223,28 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
     }
   }
 
+  // Counted read through the caller's machine context: one word per access,
+  // exactly what get() counts via the thread-local lookup, minus the lookup.
+  // The round bodies below are the measured hot loops of the tracker, so
+  // their reads all go through this.
+  const auto rd = [](MachineContext& ctx, const DenseTable<std::uint64_t>& t,
+                     std::uint64_t i) {
+    ctx.count_read(1);  // words_per_v() == 1 for uint64 values
+    return t.raw(i);
+  };
+
   // The arithmetic component walk (proof of Lemma 10): from x at level i,
   // hop path-by-path toward the component's top path. Labels on a path are
   // base_depth + binlabel - 1, so "global label < i" is a pure binarized-
   // path query with bound i - base_depth + 1.
-  auto climb = [&](VertexId x, std::uint32_t i) {
+  auto climb = [&](MachineContext& ctx, VertexId x, std::uint32_t i) {
     ClimbResult r;
     VertexId cur = x;
     for (;;) {
-      const std::uint64_t hd = t_head.get(cur);
-      const std::uint64_t L = t_len.get(cur);
-      const std::uint64_t j = t_pos.get(cur);
-      const std::uint64_t base = t_base.get(cur);
+      const std::uint64_t hd = rd(ctx, t_head, cur);
+      const std::uint64_t L = rd(ctx, t_len, cur);
+      const std::uint64_t j = rd(ctx, t_pos, cur);
+      const std::uint64_t base = rd(ctx, t_base, cur);
       std::uint64_t a = bp::kNoPosition, b = bp::kNoPosition;
       if (i > base) {
         const auto bound = static_cast<std::uint32_t>(i - base + 1);
@@ -217,9 +252,9 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
         b = bp::nearest_smaller_right(L, j, bound);
       }
       if (a == bp::kNoPosition) {
-        const std::uint64_t attach = t_parent.get(hd);
+        const std::uint64_t attach = rd(ctx, t_parent, hd);
         if (attach != kNoNext &&
-            t_label.get(attach) >= i) {  // component extends upward
+            rd(ctx, t_label, attach) >= i) {  // component extends upward
           cur = static_cast<VertexId>(attach);
           continue;
         }
@@ -233,15 +268,16 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
       const std::uint64_t hi = (b == bp::kNoPosition) ? L - 1 : b - 1;
       const auto m = bp::min_label_in_range(L, lo, hi);
       if (base + m.label - 1 == i) {
-        const std::uint64_t poff = t_path_off.get(hd);
-        r.leader = static_cast<VertexId>(t_vertex_at.get(poff + m.pos));
+        const std::uint64_t poff = rd(ctx, t_path_off, hd);
+        r.leader = static_cast<VertexId>(rd(ctx, t_vertex_at, poff + m.pos));
       }
       return r;
     }
   };
-  auto vertex_on_top_path = [&](VertexId top, std::uint64_t position) {
-    const std::uint64_t poff = t_path_off.get(t_head.get(top));
-    return static_cast<VertexId>(t_vertex_at.get(poff + position));
+  auto vertex_on_top_path = [&](MachineContext& ctx, VertexId top,
+                                std::uint64_t position) {
+    const std::uint64_t poff = rd(ctx, t_path_off, rd(ctx, t_head, top));
+    return static_cast<VertexId>(rd(ctx, t_vertex_at, poff + position));
   };
 
   // 4. Leader of every (vertex, level) pair, levels in parallel (Lemma 9's
@@ -251,11 +287,11 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
                                      kNoNext);
   rt.round_over_items("singleton.leaders",
                       static_cast<std::uint64_t>(n) * h,
-                      [&](MachineContext&, std::uint64_t item) {
+                      [&](MachineContext& ctx, std::uint64_t item) {
     const auto v = static_cast<VertexId>(item / h);
     const auto i = static_cast<std::uint32_t>(item % h) + 1;
-    if (t_label.get(v) < i) return;  // v not alive at this level
-    const ClimbResult r = climb(v, i);
+    if (rd(ctx, t_label, v) < i) return;  // v not alive at this level
+    const ClimbResult r = climb(ctx, v, i);
     if (r.leader != kInvalidVertex) t_leader.put(item, r.leader);
   });
 
@@ -265,24 +301,24 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
   // t_full - 1 (the complete bag is not a cut).
   DenseTable<std::uint64_t> t_ldr(rt, "sc.ldr", n, 0);
   rt.round_over_items("singleton.ldr_time", n,
-                      [&](MachineContext&, std::uint64_t v) {
-    const auto i = static_cast<std::uint32_t>(t_label.get(v));
-    const ClimbResult r = climb(static_cast<VertexId>(v), i);
+                      [&](MachineContext& ctx, std::uint64_t v) {
+    const auto i = static_cast<std::uint32_t>(rd(ctx, t_label, v));
+    const ClimbResult r = climb(ctx, static_cast<VertexId>(v), i);
     REPRO_CHECK_MSG(r.leader == static_cast<VertexId>(v),
                     "leader must resolve to itself at its own level");
     TimeStep first_absorb = std::numeric_limits<TimeStep>::max();
     if (r.a != bp::kNoPosition) {
       first_absorb = std::min(
-          first_absorb, pm.query(static_cast<VertexId>(v),
-                                 vertex_on_top_path(r.top, r.a)));
+          first_absorb, pm.query(&ctx, static_cast<VertexId>(v),
+                                 vertex_on_top_path(ctx, r.top, r.a)));
     } else if (r.attach != kInvalidVertex) {
-      first_absorb =
-          std::min(first_absorb, pm.query(static_cast<VertexId>(v), r.attach));
+      first_absorb = std::min(
+          first_absorb, pm.query(&ctx, static_cast<VertexId>(v), r.attach));
     }
     if (r.b != bp::kNoPosition) {
       first_absorb = std::min(
-          first_absorb, pm.query(static_cast<VertexId>(v),
-                                 vertex_on_top_path(r.top, r.b)));
+          first_absorb, pm.query(&ctx, static_cast<VertexId>(v),
+                                 vertex_on_top_path(ctx, r.top, r.b)));
     }
     if (first_absorb == std::numeric_limits<TimeStep>::max()) {
       t_ldr.put(v, t_full - 1);
@@ -314,22 +350,22 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
       const VertexId x = g.edges[e].u;
       const VertexId y = g.edges[e].v;
       const Weight w = g.edges[e].w;
-      const bool xa = t_label.get(x) >= i;
-      const bool ya = t_label.get(y) >= i;
+      const bool xa = rd(ctx, t_label, x) >= i;
+      const bool ya = rd(ctx, t_label, y) >= i;
       if (!xa && !ya) continue;
       const std::uint64_t lx =
-          xa ? t_leader.get(static_cast<std::uint64_t>(x) * h + (i - 1))
+          xa ? rd(ctx, t_leader, static_cast<std::uint64_t>(x) * h + (i - 1))
              : kNoNext;
       const std::uint64_t ly =
-          ya ? t_leader.get(static_cast<std::uint64_t>(y) * h + (i - 1))
+          ya ? rd(ctx, t_leader, static_cast<std::uint64_t>(y) * h + (i - 1))
              : kNoNext;
       if (lx != kNoNext && lx == ly) {
         // Same component & leader (Case 3b): crosses between joining times.
         const auto leader = static_cast<VertexId>(lx);
-        const TimeStep jx = pm.query(leader, x);
-        const TimeStep jy = pm.query(leader, y);
+        const TimeStep jx = pm.query(&ctx, leader, x);
+        const TimeStep jy = pm.query(&ctx, leader, y);
         if (jx == jy) continue;  // joined simultaneously, never crosses
-        const auto ldr = static_cast<TimeStep>(t_ldr.get(leader));
+        const auto ldr = static_cast<TimeStep>(rd(ctx, t_ldr, leader));
         const TimeStep a = std::min(jx, jy);
         const TimeStep b = std::min<TimeStep>(std::max(jx, jy) - 1, ldr);
         if (a <= b) {
@@ -342,8 +378,8 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
              {std::tuple{xa, lx, x}, std::tuple{ya, ly, y}}) {
           if (!alive || lv == kNoNext) continue;
           const auto leader = static_cast<VertexId>(lv);
-          const TimeStep j = pm.query(leader, z);
-          const auto ldr = static_cast<TimeStep>(t_ldr.get(leader));
+          const TimeStep j = pm.query(&ctx, leader, z);
+          const auto ldr = static_cast<TimeStep>(rd(ctx, t_ldr, leader));
           if (j <= ldr) {
             local.push_back({leader, j, ldr, w});
             ctx.count_write(2);
@@ -373,9 +409,22 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
                         -static_cast<std::int64_t>(iv.w)});
     }
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    return std::tie(a.leader, a.t) < std::tie(b.leader, b.t);
-  });
+  // Group by (leader, t) with two stable counting passes — the model cost of
+  // this sort is the charged AMPC group sort above; host-side it is linear.
+  // Tie order within a (leader, t) pair is irrelevant: the compression below
+  // sums those deltas.
+  {
+    std::vector<Event> tmp(events.size());
+    std::vector<std::uint32_t> count(
+        std::max<std::size_t>(t_full + 2, n) + 1, 0);
+    for (const Event& e : events) ++count[e.t + 1];
+    for (std::size_t t = 0; t + 2 < count.size(); ++t) count[t + 1] += count[t];
+    for (const Event& e : events) tmp[count[e.t]++] = e;
+    std::fill(count.begin(), count.end(), 0);
+    for (const Event& e : tmp) ++count[e.leader + 1];
+    for (VertexId v = 0; v < n; ++v) count[v + 1] += count[v];
+    for (const Event& e : tmp) events[count[e.leader]++] = e;
+  }
   std::vector<std::int64_t> deltas;
   std::vector<TimeStep> times_at;
   std::vector<VertexId> seg_leader;

@@ -8,6 +8,13 @@
 // order). Only MST edges (w.r.t. the times) change the partition; everything
 // downstream (bags, singleton cuts) is a function of the MST + times, exactly
 // as the paper argues via Kruskal.
+//
+// Hot-path note: ranking the clocks already produces the time-sorted edge-id
+// permutation, so make_contraction_order stores it alongside the times.
+// Every downstream consumer (MSF derivation, contraction, the oracle
+// tracker) scans that permutation linearly instead of re-sorting the edge
+// list — the clock sort is the only comparison sort in the whole contraction
+// pipeline.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,10 @@ namespace ampccut {
 struct ContractionOrder {
   // time[e] in [1, m], all distinct; index parallel to g.edges.
   std::vector<TimeStep> time;
+  // Edge ids in increasing time order: time[perm[r]] == r + 1. Filled by
+  // make_contraction_order; callers that build orders by hand may leave it
+  // empty, in which case consumers fall back to sorting by time.
+  std::vector<EdgeId> perm;
 };
 
 // Weighted Karger order via exponential clocks (uniform order when all
@@ -27,9 +38,23 @@ struct ContractionOrder {
 ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed);
 
 // Kruskal by time. Returns edge ids of the minimum spanning forest, in
-// increasing time order.
+// increasing time order. Linear over order.perm when present; sorts only for
+// hand-built orders without a permutation.
 std::vector<EdgeId> msf_edges_by_time(const WGraph& g,
                                       const ContractionOrder& order);
+
+// Reusable buffers for contract_to_size. One instance per thread of control
+// (the recursion driver owns one per branch chain and reuses it across
+// levels); never shared concurrently. All buffers are resized on demand and
+// keep their capacity across calls, so steady-state contractions allocate
+// nothing.
+struct ContractionScratch {
+  std::vector<VertexId> uf_parent;     // union-find storage
+  std::vector<VertexId> uf_size;
+  std::vector<WEdge> edges_a;          // radix ping-pong buffers
+  std::vector<WEdge> edges_b;
+  std::vector<std::uint32_t> counts;   // counting-sort histogram
+};
 
 // The graph after running the contraction process until `target` components
 // remain (or the process is exhausted, for disconnected inputs). Parallel
@@ -40,7 +65,10 @@ struct ContractedGraph {
   std::vector<VertexId> origin;
 };
 
+// `scratch` (optional) supplies reusable buffers; results are identical with
+// or without it.
 ContractedGraph contract_to_size(const WGraph& g, const ContractionOrder& order,
-                                 VertexId target);
+                                 VertexId target,
+                                 ContractionScratch* scratch = nullptr);
 
 }  // namespace ampccut

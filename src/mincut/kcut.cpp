@@ -1,11 +1,13 @@
 #include "mincut/kcut.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "exact/stoer_wagner.h"
 #include "support/check.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 
 namespace ampccut {
 
@@ -17,18 +19,17 @@ struct Component {
   WGraph sub;
   std::vector<VertexId> to_orig;      // sub vertex -> original vertex
   std::vector<EdgeId> edge_to_orig;   // sub edge -> original edge id
-  // Cached best split of this component (computed lazily).
-  bool solved = false;
-  MinCutResult cut;
+  MinCutResult cut;                   // best split (filled for sub.n >= 2)
 };
 
 }  // namespace
 
 ApproxKCutResult apx_split_k_cut(
     const WGraph& g, std::uint32_t k, const ComponentSplitter& splitter,
-    const std::function<void(std::uint32_t)>& on_iteration) {
+    const std::function<void(std::uint32_t)>& on_iteration, ThreadPool* pool) {
   REPRO_CHECK(k >= 1 && k <= g.n);
   std::vector<std::uint8_t> removed(g.edges.size(), 0);
+  std::uint64_t splitter_calls = 0;  // across all passes, for call_seq
 
   ApproxKCutResult out;
   for (;;) {
@@ -61,8 +62,7 @@ ApproxKCutResult apx_split_k_cut(
       return out;
     }
 
-    // Build the splittable components and pick the cheapest cut among them
-    // (Algorithm 4 lines 3-5).
+    // Build the splittable components (Algorithm 4 lines 3-5).
     std::vector<Component> comps(num_comps);
     std::vector<std::uint32_t> dense(g.n);
     for (VertexId v = 0; v < g.n; ++v) {
@@ -84,21 +84,42 @@ ApproxKCutResult apx_split_k_cut(
       c.edge_to_orig.push_back(e);
     }
 
+    // Singleton components cannot split; everything else is solved this pass
+    // (model-parallel across components), with call_seq assigned in
+    // component order so seed derivation is schedule-independent.
+    std::vector<std::size_t> splittable;
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      if (comps[ci].sub.n >= 2) splittable.push_back(ci);
+    }
+    REPRO_CHECK_MSG(!splittable.empty(),
+                    "no splittable component but fewer than k parts "
+                    "(k > number of vertices?)");
+    if (pool != nullptr && splittable.size() > 1) {
+      ThreadPool::TaskGroup group(*pool);
+      for (std::size_t si = 0; si < splittable.size(); ++si) {
+        group.run([&comps, &splitter, &splittable, splitter_calls, si] {
+          Component& c = comps[splittable[si]];
+          c.cut = splitter(c.sub, splitter_calls + si + 1);
+        });
+      }
+      group.wait();
+    } else {
+      for (std::size_t si = 0; si < splittable.size(); ++si) {
+        Component& c = comps[splittable[si]];
+        c.cut = splitter(c.sub, splitter_calls + si + 1);
+      }
+    }
+    splitter_calls += splittable.size();
+
+    // Pick the globally cheapest cut, first-minimum-wins in component order.
     std::size_t best_comp = comps.size();
     Weight best_weight = kInfiniteWeight;
-    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-      Component& c = comps[ci];
-      if (c.sub.n < 2) continue;  // singleton components cannot split
-      c.cut = splitter(c.sub);
-      c.solved = true;
-      if (c.cut.weight < best_weight) {
-        best_weight = c.cut.weight;
+    for (const std::size_t ci : splittable) {
+      if (comps[ci].cut.weight < best_weight) {
+        best_weight = comps[ci].cut.weight;
         best_comp = ci;
       }
     }
-    REPRO_CHECK_MSG(best_comp != comps.size(),
-                    "no splittable component but fewer than k parts "
-                    "(k > number of vertices?)");
 
     // Remove the winning cut's crossing edges (add them to D).
     const Component& win = comps[best_comp];
@@ -115,18 +136,31 @@ ApproxKCutResult apx_split_k_cut(
 
 ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
                                         const ApproxMinCutOptions& opt) {
-  std::uint64_t salt = 0;
-  return apx_split_k_cut(g, k, [&, opt](const WGraph& sub) mutable {
-    ApproxMinCutOptions o = opt;
-    o.seed = splitmix64(opt.seed ^ ++salt);
-    const ApproxMinCutResult r = approx_min_cut(sub, o);
-    return MinCutResult{r.weight, r.side};
-  });
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = resolve_recursion_pool(opt.threads, owned);
+  ApproxMinCutOptions base = opt;
+  // A dedicated pool serves the component fan-out; per-component recursions
+  // run sequentially inside it rather than building a pool per component.
+  // (threads == 0 keeps the shared pool at both levels.)
+  if (owned != nullptr) base.threads = 1;
+  return apx_split_k_cut(
+      g, k,
+      [base](const WGraph& sub, std::uint64_t call_seq) {
+        ApproxMinCutOptions o = base;
+        o.seed = splitmix64(base.seed ^ call_seq);
+        const ApproxMinCutResult r = approx_min_cut(sub, o);
+        return MinCutResult{r.weight, r.side};
+      },
+      nullptr, pool);
 }
 
 ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k) {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = resolve_recursion_pool(0, owned);
   return apx_split_k_cut(
-      g, k, [](const WGraph& sub) { return stoer_wagner_min_cut(sub); });
+      g, k,
+      [](const WGraph& sub, std::uint64_t) { return stoer_wagner_min_cut(sub); },
+      nullptr, pool);
 }
 
 }  // namespace ampccut

@@ -7,6 +7,13 @@
 // pluggable so the same greedy loop serves the sequential reference, the
 // exact Saran–Vazirani baseline (splitter = Stoer–Wagner, (2-2/k)-approx),
 // and the AMPC backend.
+//
+// Components of one greedy pass are independent (Algorithm 4 solves them in
+// parallel), so the loop fans splitter calls out on a ThreadPool and reduces
+// the candidate cuts in component order. The splitter receives a 1-based
+// call sequence number — the count of splitter invocations in deterministic
+// (iteration, component) order — so wrappers derive per-call seeds without
+// mutable state and every thread count yields bit-identical partitions.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,8 @@
 
 namespace ampccut {
 
+class ThreadPool;
+
 struct ApproxKCutResult {
   Weight weight = 0;
   std::vector<std::uint32_t> part;  // component id per vertex, in [0, >=k)
@@ -26,19 +35,28 @@ struct ApproxKCutResult {
 };
 
 // Splitter contract: given a connected component as a standalone graph
-// (n >= 2), return an approximate (or exact) min cut with a valid side.
-using ComponentSplitter = std::function<MinCutResult(const WGraph&)>;
+// (n >= 2) and the deterministic call sequence number, return an approximate
+// (or exact) min cut with a valid side. May be invoked concurrently — any
+// shared accumulation must be synchronized.
+using ComponentSplitter =
+    std::function<MinCutResult(const WGraph&, std::uint64_t call_seq)>;
 
 // Greedy loop; requires 1 <= k <= g.n. With k == 1 returns the trivial
 // partition. Every pass recomputes the cut of every current component and
 // removes the cheapest one; `on_iteration` (when provided) fires at the end
 // of each pass with the pass index — the AMPC wrapper uses it to account one
-// parallel round-group per iteration.
+// parallel round-group per iteration (it always runs on the calling thread,
+// between fan-outs). `pool` (optional) runs each pass's splitter calls as a
+// task group; nullptr solves them sequentially. Results are identical either
+// way.
 ApproxKCutResult apx_split_k_cut(
     const WGraph& g, std::uint32_t k, const ComponentSplitter& splitter,
-    const std::function<void(std::uint32_t)>& on_iteration = nullptr);
+    const std::function<void(std::uint32_t)>& on_iteration = nullptr,
+    ThreadPool* pool = nullptr);
 
-// Convenience wrappers.
+// Convenience wrappers. Parallelism follows opt.threads (see
+// ApproxMinCutOptions): the component fan-out uses the resolved pool and the
+// per-component recursion shares it (threads == 1 is fully sequential).
 ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
                                         const ApproxMinCutOptions& opt = {});
 // The Saran–Vazirani exact-splitter baseline ((2-2/k)-approximate).

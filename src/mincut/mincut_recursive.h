@@ -10,10 +10,23 @@
 // "fits in one machine's O(n^eps) memory" case, Algorithm 1 line 1) are
 // solved exactly by Stoer–Wagner.
 //
+// Algorithm 1's defining property — all instances of a recursion level run
+// in parallel — is realized literally: the driver fans trials and branches
+// out as tasks on a ThreadPool (ThreadPool::TaskGroup supports the nested
+// submission this recursion shape needs), stores every branch's outcome in a
+// per-slot buffer, and reduces the slots sequentially in (trial, branch)
+// order. Results — weight, witness side, and RecursionStats — are therefore
+// bit-identical to the single-threaded run for every thread count (DESIGN.md
+// "Parallel recursion scheduling"). `threads == 1` executes the historical
+// depth-first path with zero task machinery.
+//
 // The skeleton is backend-parameterized: the sequential backend plugs in the
 // interval tracker of Section 4; the AMPC/MPC backends plug in trackers that
 // run on their runtimes and account rounds. All share this file's schedule,
 // so round-complexity comparisons isolate the models, not the recursion.
+// Backends must be thread-safe: hooks are invoked concurrently from branch
+// tasks (all in-repo backends accumulate their metrics under a mutex or in
+// per-call runtimes).
 //
 // Practical deviation (DESIGN.md): x_min defaults to 4 rather than 2. With
 // x = 2 the early levels duplicate whole near-full-size instances (work
@@ -25,6 +38,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "exact/stoer_wagner.h"
@@ -34,6 +48,15 @@
 
 namespace ampccut {
 
+class ThreadPool;
+
+// Resolves the `threads` knob shared by the recursion drivers: nullptr means
+// the exact sequential path (threads == 1, or a shared pool that could not
+// run anything concurrently anyway), otherwise the shared pool (threads ==
+// 0) or a dedicated pool handed back through `owned` (threads == N > 1).
+ThreadPool* resolve_recursion_pool(std::uint32_t threads,
+                                   std::unique_ptr<ThreadPool>& owned);
+
 struct ApproxMinCutOptions {
   double eps = 0.9;                // schedule parameter (paper's epsilon)
   double x_min = 4.0;              // minimum per-level contraction factor
@@ -42,6 +65,10 @@ struct ApproxMinCutOptions {
   std::uint32_t trials = 2;        // independent runs of the whole recursion
   std::uint64_t seed = 1;
   bool use_oracle_tracker = false;  // reference tracker instead of Section 4
+  // Recursion parallelism: 0 = the shared pool (hardware concurrency),
+  // 1 = the exact historical sequential execution path, N > 1 = a dedicated
+  // N-thread pool for this call. Thread count never changes any result.
+  std::uint32_t threads = 0;
 };
 
 struct RecursionStats {
@@ -50,6 +77,9 @@ struct RecursionStats {
   std::uint64_t tracker_calls = 0;
   std::uint64_t local_solves = 0;
   std::uint64_t peak_level_edges = 0;  // max total edges across one level
+
+  friend bool operator==(const RecursionStats&, const RecursionStats&) =
+      default;
 };
 
 struct ApproxMinCutResult {
@@ -61,7 +91,10 @@ struct ApproxMinCutResult {
 // Hooks that let the AMPC/MPC backends reuse the recursion skeleton. The
 // `level` argument identifies the recursion depth of the call: in the model,
 // all instances of one level execute in parallel, so backends account rounds
-// per level as the maximum over that level's calls.
+// per level as the maximum over that level's calls. With a multi-threaded
+// driver the hooks of one level (and of independent subtrees) run
+// concurrently — implementations must synchronize any shared accumulation
+// (commutative reductions like max/sum keep the totals deterministic).
 struct MinCutBackend {
   // Smallest singleton cut over the full contraction process of (g, order).
   std::function<SingletonCutResult(const WGraph&, const ContractionOrder&,

@@ -35,24 +35,25 @@ struct LevelBest {
 };
 
 struct Event {
+  VertexId leader;
   TimeStep t;
   std::int64_t delta;  // +w when an interval opens, -w one past its close
 };
 
 // Minimum coverage of weighted intervals (already clipped to [0, cap]) over
-// integer points [0, cap]. Coverage at 0 equals the leader's weighted degree.
-Weight min_coverage(std::vector<Event>& events, TimeStep cap, TimeStep* argmin) {
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.t < b.t; });
+// integer points [0, cap], given the leader's events pre-sorted by time.
+// Coverage at 0 equals the leader's weighted degree.
+Weight min_coverage_sorted(const Event* events, std::size_t count,
+                           TimeStep cap, TimeStep* argmin) {
   std::int64_t cur = 0;
   Weight best = kInfiniteWeight;
   TimeStep best_t = 0;
   std::size_t i = 0;
   // Apply batches of events sharing a timestamp, then record the plateau
   // value. All opens are at t <= cap; closes beyond cap cannot affect [0,cap].
-  while (i < events.size() && events[i].t <= cap) {
+  while (i < count && events[i].t <= cap) {
     const TimeStep t = events[i].t;
-    while (i < events.size() && events[i].t == t) {
+    while (i < count && events[i].t == t) {
       cur += events[i].delta;
       ++i;
     }
@@ -167,13 +168,16 @@ SingletonCutResult min_singleton_cut_interval(const WGraph& g,
       }
     }
 
-    // Time intervals per edge (Lemmas 12/13), grouped per leader.
-    std::vector<std::vector<Event>> events(g.n);
+    // Time intervals per edge (Lemmas 12/13). Events go into one flat buffer
+    // and are grouped by leader (time-sorted within a leader) afterwards by
+    // two stable counting passes — no comparison sort, no per-leader vector
+    // churn.
+    std::vector<Event> events;
     auto add_interval = [&](VertexId leader, TimeStep lo, TimeStep hi,
                             Weight w) {
       if (lo > hi) return;
-      events[leader].push_back({lo, static_cast<std::int64_t>(w)});
-      events[leader].push_back({hi + 1, -static_cast<std::int64_t>(w)});
+      events.push_back({leader, lo, static_cast<std::int64_t>(w)});
+      events.push_back({leader, hi + 1, -static_cast<std::int64_t>(w)});
       ++out.intervals;
     };
     for (EdgeId e = 0; e < g.edges.size(); ++e) {
@@ -212,11 +216,35 @@ SingletonCutResult min_singleton_cut_interval(const WGraph& g,
       }
     }
 
+    // Group events by leader with time order inside each group: stable
+    // counting sort by t (values are bounded by t_full + 1), then stable
+    // counting sort by leader. The sweep only needs per-leader time order,
+    // so this is equivalent to the old per-leader comparison sorts.
+    std::vector<Event> sorted(events.size());
+    {
+      std::vector<std::uint32_t> tcount(t_full + 3, 0);
+      for (const Event& e : events) ++tcount[e.t + 1];
+      for (std::size_t t = 0; t + 1 < tcount.size(); ++t) {
+        tcount[t + 1] += tcount[t];
+      }
+      for (const Event& e : events) sorted[tcount[e.t]++] = e;
+    }
+    std::vector<std::uint32_t> loffset(g.n + 1, 0);
+    {
+      for (const Event& e : sorted) ++loffset[e.leader + 1];
+      for (VertexId v = 0; v < g.n; ++v) loffset[v + 1] += loffset[v];
+      std::vector<std::uint32_t> cursor(loffset.begin(), loffset.end() - 1);
+      for (const Event& e : sorted) events[cursor[e.leader]++] = e;
+    }
+
     // Sweep per leader (Lemma 14).
     for (const VertexId v : decomp.levels[i]) {
-      out.words += 2 * events[v].size();
+      const std::uint32_t begin = loffset[v];
+      const std::uint32_t count = loffset[v + 1] - begin;
+      out.words += 2 * count;
       TimeStep argmin = 0;
-      const Weight w = min_coverage(events[v], ldr[v], &argmin);
+      const Weight w =
+          min_coverage_sorted(events.data() + begin, count, ldr[v], &argmin);
       if (w < out.weight) {
         out.weight = w;
         out.rep = v;

@@ -63,12 +63,16 @@ SingletonCutResult min_singleton_cut_oracle(const WGraph& g,
   };
   for (VertexId v = 0; v < g.n; ++v) consider(v, 0);
 
-  std::vector<EdgeId> idx(g.edges.size());
-  std::iota(idx.begin(), idx.end(), 0);
-  std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
-    return order.time[a] < order.time[b];
-  });
-  for (const EdgeId e : idx) {
+  std::vector<EdgeId> idx;
+  if (order.perm.size() != order.time.size()) {
+    // Hand-built order without a permutation: sort once, as before.
+    idx.resize(g.edges.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
+      return order.time[a] < order.time[b];
+    });
+  }
+  for (const EdgeId e : idx.empty() ? order.perm : idx) {
     VertexId a = uf.find(g.edges[e].u);
     VertexId b = uf.find(g.edges[e].v);
     if (a == b) continue;

@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "exact/stoer_wagner.h"
 #include "mpc/primitives.h"
 #include "support/check.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 
 namespace ampccut::mpc {
 
 MpcMinCutReport mpc_gn_min_cut(const WGraph& g, const MpcMinCutOptions& opt) {
   MpcMinCutReport report;
+  // Hooks run concurrently under a multi-threaded recursion driver; the
+  // accumulations are commutative (max/sum), so the mutex only guards the
+  // containers and the totals stay thread-count independent.
+  std::mutex mu;
   std::map<std::uint32_t, std::uint64_t> level_rounds;
   bool any_local = false;
 
@@ -38,13 +45,19 @@ MpcMinCutReport mpc_gn_min_cut(const WGraph& g, const MpcMinCutOptions& opt) {
       const std::vector<std::int64_t> ones(inst.n, 1);
       (void)mpc_list_rank(rt, next, ones);
     }
-    level_rounds[level] =
-        std::max(level_rounds[level], rt.metrics().rounds);
-    report.messages += rt.metrics().messages;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      level_rounds[level] =
+          std::max(level_rounds[level], rt.metrics().rounds);
+      report.messages += rt.metrics().messages;
+    }
     return min_singleton_cut_interval(inst, o);
   };
   backend.solve_local = [&](const WGraph& inst, std::uint32_t) {
-    any_local = true;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      any_local = true;
+    }
     return stoer_wagner_min_cut(inst);
   };
   backend.on_level = [](std::uint32_t, std::uint64_t) {};
@@ -65,25 +78,33 @@ MpcMinCutReport mpc_gn_min_cut(const WGraph& g, const MpcMinCutOptions& opt) {
 MpcKCutReport mpc_gn_k_cut(const WGraph& g, std::uint32_t k,
                            const MpcMinCutOptions& opt) {
   MpcKCutReport report;
+  std::mutex mu;
   std::uint64_t iter_rounds = 0;
-  std::uint64_t salt = 0;
   std::uint32_t calls_this_iter = 0;
   auto flush = [&]() {
+    std::lock_guard<std::mutex> lock(mu);
     report.rounds += iter_rounds + 1;  // +1: component counting
     iter_rounds = 0;
     calls_this_iter = 0;
   };
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = resolve_recursion_pool(opt.recursion.threads, owned);
+  MpcMinCutOptions base = opt;
+  if (owned != nullptr) base.recursion.threads = 1;  // see kcut.cpp
   report.result = apx_split_k_cut(
       g, k,
-      [&](const WGraph& component) {
-        MpcMinCutOptions o = opt;
-        o.recursion.seed = splitmix64(opt.recursion.seed ^ ++salt);
+      [&, base](const WGraph& component, std::uint64_t call_seq) {
+        MpcMinCutOptions o = base;
+        o.recursion.seed = splitmix64(base.recursion.seed ^ call_seq);
         const MpcMinCutReport sub = mpc_gn_min_cut(component, o);
-        iter_rounds = std::max(iter_rounds, sub.rounds);
-        ++calls_this_iter;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          iter_rounds = std::max(iter_rounds, sub.rounds);
+          ++calls_this_iter;
+        }
         return MinCutResult{sub.weight, sub.side};
       },
-      [&](std::uint32_t) { flush(); });
+      [&](std::uint32_t) { flush(); }, pool);
   if (calls_this_iter > 0) flush();
   return report;
 }

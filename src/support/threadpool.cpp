@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <memory>
+#include <utility>
 
 namespace ampccut {
 
@@ -66,24 +67,56 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Batch> batch;
+    Work work{nullptr, nullptr};
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] {
-        return shutdown_ || (current_ && generation_ != seen_generation);
+        return shutdown_ || !queue_.empty() ||
+               (current_ && generation_ != seen_generation);
       });
       if (shutdown_) return;
-      seen_generation = generation_;
-      batch = current_;  // shared ownership keeps the batch alive past the
-                         // caller's return, killing the use-after-free race
+      if (current_ && generation_ != seen_generation) {
+        seen_generation = generation_;
+        batch = current_;  // shared ownership keeps the batch alive past the
+                           // caller's return, killing the use-after-free race
+      } else {
+        work = std::move(queue_.front());
+        queue_.pop_front();
+      }
     }
-    if (batch) batch->drain(*batch->body);
+    if (batch) {
+      batch->drain(*batch->body);
+    } else if (work.fn) {
+      execute(std::move(work));
+    }
+  }
+}
+
+void ThreadPool::execute(Work work) {
+  TaskGroup* group = work.group;
+  try {
+    work.fn();
+  } catch (...) {
+    group->record_error(std::current_exception());
+  }
+  // The owner may be asleep in wait() with an empty queue; completion is the
+  // only event that can unblock it, so it must be broadcast. Touching mu_
+  // between the decrement and the notify serializes with the waiter's
+  // predicate check — without it the wakeup can land in the window between
+  // the waiter reading pending_ and actually blocking, and be lost.
+  if (group->pending_.fetch_sub(1) == 1) {
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_work_.notify_all();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  if (threads_.empty() || count == 1) {
+  if (threads_.size() <= 1 || count == 1) {
+    // Inline: with at most one worker the caller would drain the whole batch
+    // anyway, so skip the posting/notify round trip. Same iterations, same
+    // thread-visible semantics, first exception propagates identically.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -104,9 +137,75 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    current_.reset();
+    // Concurrent parallel_for calls are allowed (recursion tasks issue them
+    // independently); only clear the slot if a newer batch hasn't replaced
+    // this one, so that batch stays visible to late-waking workers.
+    if (current_ == batch) current_.reset();
   }
   if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  // Defensive: a correctly used group was waited on already (wait() rethrows
+  // task exceptions; the destructor cannot). Never destroy tasks that are
+  // still running.
+  if (pending_.load() != 0) wait();
+}
+
+void ThreadPool::TaskGroup::record_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!error_) error_ = std::move(e);
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+  if (pool_.threads_.size() <= 1) {
+    // Single-threaded pool: queued execution could only ever run on this
+    // thread anyway; run inline and keep the error contract.
+    try {
+      fn();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    return;
+  }
+  pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(pool_.mu_);
+    pool_.queue_.push_back({std::move(fn), this});
+  }
+  pool_.cv_work_.notify_all();
+}
+
+void ThreadPool::TaskGroup::wait() {
+  if (pool_.threads_.size() > 1) {
+    std::unique_lock<std::mutex> lock(pool_.mu_);
+    for (;;) {
+      // Own completion first: once this group's tasks are done, return to
+      // the caller's reduce instead of draining unrelated queued work (which
+      // would also grow the help-recursion stack for no progress gain).
+      if (pending_.load() == 0) break;
+      if (!pool_.queue_.empty()) {
+        // Help: run any queued task (ours or another group's). Progress is
+        // guaranteed — a sleeping waiter implies an empty queue, so every
+        // pending task is running on some thread and will settle its group.
+        Work work = std::move(pool_.queue_.front());
+        pool_.queue_.pop_front();
+        lock.unlock();
+        pool_.execute(std::move(work));
+        lock.lock();
+        continue;
+      }
+      pool_.cv_work_.wait(lock, [&] {
+        return !pool_.queue_.empty() || pending_.load() == 0;
+      });
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

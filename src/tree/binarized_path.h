@@ -21,6 +21,7 @@
 //    unique and is the parent of the first right-child ancestor.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "support/bits.h"
@@ -73,26 +74,35 @@ inline std::uint64_t leaf_position(std::uint64_t leaves, NodeId x) {
   return x >= (1ull << d) ? x - (1ull << d) : bottom + (x - leaves);
 }
 
-// Leftmost / rightmost leaf of the subtree rooted at x.
+// Leftmost / rightmost leaf of the subtree rooted at x. Closed forms — the
+// descend-left walk multiplies by 2 per step, so the step count is the
+// smallest k with x·2^k >= L (equivalently 2^k >= ceil(L/x)); descend-right
+// maps x -> 2x+1, i.e. after k steps (x+1)·2^k - 1, stopping at the smallest
+// k with that >= L. Every internal node (ids 1..L-1) has both children in
+// the almost-complete heap, so the walks never fall off the tree and the
+// closed forms are exact. These sit on the hot path of the Lemma 10 climbs.
 inline NodeId leftmost_leaf(std::uint64_t leaves, NodeId x) {
-  while (!is_leaf(leaves, x)) x = left_child(x);
-  return x;
+  if (is_leaf(leaves, x)) return x;
+  return x << ceil_log2(ceil_div(leaves, x));
 }
 inline NodeId rightmost_leaf(std::uint64_t leaves, NodeId x) {
-  while (!is_leaf(leaves, x)) x = right_child(x);
-  return x;
+  if (is_leaf(leaves, x)) return x;
+  return ((x + 1) << ceil_log2(ceil_div(leaves + 1, x + 1))) - 1;
 }
 
 // The label of a leaf, as a depth within this binarized path (the caller
 // offsets by the expanded-meta-tree base depth). Implements Algorithm 2
 // line 14: climb while the current node is a left child; if a right child is
 // reached its parent is u', otherwise (reached the root) u' is the leaf.
+// Climbing out of left children strips trailing zero bits, so the climb is
+// one countr_zero: the first right-child ancestor is leaf >> countr_zero
+// (odd), whose parent has depth floor_log2(leaf) - countr_zero(leaf).
 inline std::uint32_t leaf_label(std::uint64_t leaves, NodeId leaf) {
   REPRO_DCHECK(is_leaf(leaves, leaf));
-  NodeId cur = leaf;
-  while (is_left_child(cur)) cur = parent(cur);
-  if (cur == 1) return depth(leaf);
-  return depth(parent(cur));
+  const int tz = std::countr_zero(leaf);
+  const NodeId first_right = leaf >> tz;
+  if (first_right == 1) return depth(leaf);  // all-left path to the root
+  return floor_log2(leaf) - static_cast<std::uint32_t>(tz);
 }
 
 // Label of the pre-order j-th leaf.

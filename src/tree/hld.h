@@ -61,6 +61,12 @@ HeavyLight build_heavy_light(const RootedTree& t);
 
 // Max contraction time on tree paths, O(log n) per query after O(n log n)
 // preprocessing. pathmax(u, u) == 0 by convention (empty path).
+//
+// query() is the single hottest function of the interval tracker (one call
+// per edge endpoint per decomposition level), so the structure is flattened
+// for it: per-vertex head/depth/parent-hop arrays replace the pointer-chasing
+// through RootedTree/HeavyLight, and the sparse table is one contiguous
+// buffer indexed by per-level offsets.
 class PathMax {
  public:
   PathMax() = default;
@@ -71,12 +77,17 @@ class PathMax {
  private:
   [[nodiscard]] TimeStep range_max(std::uint32_t lo, std::uint32_t hi) const;
 
-  const RootedTree* tree_ = nullptr;
-  const HeavyLight* hl_ = nullptr;
   // Global position of v = path_offset[path_id[v]] + pos_in_path[v]; the base
-  // array holds parent-edge times so a path segment is a contiguous range.
+  // array (sparse level 0) holds parent-edge times so a path segment is a
+  // contiguous range.
   std::vector<std::uint32_t> gpos_;
-  std::vector<std::vector<TimeStep>> sparse_;  // sparse_[k][i]: max over 2^k
+  std::vector<VertexId> head_;          // head vertex of v's heavy path
+  std::vector<std::uint32_t> depth_;    // tree depth of v
+  std::vector<std::uint32_t> head_depth_;   // depth of head_[v]
+  std::vector<VertexId> head_parent_;   // parent of head_[v] (next hop)
+  std::vector<TimeStep> head_ptime_;    // parent-edge time of head_[v]
+  std::vector<TimeStep> sparse_;        // level k at [level_off_[k], ...)
+  std::vector<std::uint32_t> level_off_;
 };
 
 }  // namespace ampccut

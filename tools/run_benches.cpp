@@ -9,6 +9,11 @@
 // Usage (from the repo root, after building into build/):
 //   ./build/tools/run_benches [--smoke|--full] [--bench-dir build/bench]
 //                             [--out-dir .] [--only <suite-substring>]
+//                             [--threads N]
+//
+// --threads is forwarded to every bench (recursion-driver parallelism;
+// 0/absent = hardware concurrency, 1 = the sequential path). Thread count
+// changes only ns_per_op, never results.
 //
 // --only runs and validates the matching suites but never rewrites the
 // trajectory files (a partial run must not clobber the other suites' data).
@@ -124,6 +129,7 @@ int main(int argc, char** argv) {
   const fs::path bench_dir = arg_value(argc, argv, "--bench-dir", "build/bench");
   const fs::path out_dir = arg_value(argc, argv, "--out-dir", ".");
   const char* only = arg_value(argc, argv, "--only", nullptr);
+  const char* threads = arg_value(argc, argv, "--threads", nullptr);
   const bool smoke = has_flag(argc, argv, "--smoke");
   const bool full = has_flag(argc, argv, "--full");
   const fs::path tmp_dir = out_dir / ".bench_tmp";
@@ -149,6 +155,10 @@ int main(int argc, char** argv) {
     std::string cmd = sh_quote(bin) + " --json " + sh_quote(json_path);
     if (smoke) cmd += " --smoke";
     if (full) cmd += " --full";
+    if (threads != nullptr) {
+      cmd += " --threads ";
+      cmd += threads;
+    }
     std::printf("=== %s ===\n", cmd.c_str());
     std::fflush(stdout);
     const int rc = std::system(cmd.c_str());
