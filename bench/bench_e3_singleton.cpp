@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
                           {4096, 16384}};
   if (mode == Mode::kSmoke) cases = {{512, 2048}, {1024, 4096}};
   if (mode == Mode::kFull) cases.push_back({8192, 32768});
+  // One runtime for the whole sweep: reset_for_subproblem gives each case
+  // fresh config/metrics while the table pool persists across cases.
+  ampc::Runtime rt(ampc::Config::for_problem(cases[0].n + cases[0].m, 0.5));
   for (const auto& c : cases) {
     const WGraph g = gen_random_connected(c.n, c.m, 17 + c.n);
     const ContractionOrder o = make_contraction_order(g, 3);
@@ -33,7 +36,7 @@ int main(int argc, char** argv) {
     IntervalTrackerStats stats;
     const auto seq = min_singleton_cut_interval(g, o, &stats);
 
-    ampc::Runtime rt(ampc::Config::for_problem(c.n + c.m, 0.5));
+    rt.reset_for_subproblem(ampc::Config::for_problem(c.n + c.m, 0.5));
     SingletonCutResult got;
     const double ns =
         time_once_ns([&] { got = ampc::ampc_min_singleton_cut(rt, g, o); });

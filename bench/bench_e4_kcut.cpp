@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
   const Mode mode = mode_of(argc, argv);
   const std::uint32_t threads = threads_of(argc, argv);
   BenchReporter rep("e4_kcut");
+  // Shared across every solve of the sweep: tracker runtimes and their table
+  // pools persist between k values (results/metrics unaffected — DESIGN.md
+  // "Table and runtime pooling").
+  ampc::RuntimeArena arena;
 
   std::printf("E4a / Theorem 2 — quality vs exact k-cut (n=10 ER graphs, 3 "
               "seeds averaged)\n\n");
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
       o.recursion.seed = s;
       o.recursion.trials = 2;
       o.recursion.threads = threads;
+      o.arena = &arena;
       const auto got = ampc::ampc_apx_split_k_cut(g, k, o);
       const auto exact = brute_force_min_k_cut(g, k);
       const double ratio = static_cast<double>(got.result.weight) /
@@ -65,6 +70,7 @@ int main(int argc, char** argv) {
     o.recursion.seed = 5;
     o.recursion.trials = 1;
     o.recursion.threads = threads;
+    o.arena = &arena;
     ampc::AmpcKCutReport got;
     const double ns =
         time_once_ns([&] { got = ampc::ampc_apx_split_k_cut(g, k, o); });

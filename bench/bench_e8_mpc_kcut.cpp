@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   const Mode mode = mode_of(argc, argv);
   const std::uint32_t threads = threads_of(argc, argv);
   BenchReporter rep("e8_mpc_kcut");
+  // AMPC tracker runtimes + table pools persist across the k sweep.
+  ampc::RuntimeArena arena;
   const VertexId size = mode == Mode::kFull ? 512 : 256;
   const std::uint32_t kmax =
       mode == Mode::kSmoke ? 3u : (mode == Mode::kFull ? 6u : 5u);
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
     ao.recursion.seed = 5;
     ao.recursion.trials = 1;
     ao.recursion.threads = threads;
+    ao.arena = &arena;
     ampc::AmpcKCutReport ampc_r;
     const double ampc_ns =
         time_once_ns([&] { ampc_r = ampc::ampc_apx_split_k_cut(g, k, ao); });

@@ -127,6 +127,44 @@ void bench_table_get(Harness& h, std::uint64_t n) {
   h.record(std::move(r), n);
 }
 
+// The fixed-cost path the table pool exists for (ISSUE: per-round simulator
+// fixed costs on small components): one op is a full table lifecycle —
+// construct/lease, seed one entry, stage one put, commit, destroy/release.
+// ns_per_op is the POOLED lease-reset cycle; extra carries the fresh
+// construct/destroy cycle and the resulting speedup, so the trajectory
+// catches regressions in either path.
+void bench_table_lease_reuse(Harness& h, std::uint64_t n) {
+  constexpr std::uint64_t kCycles = 64;
+  ampc::Runtime rt(ampc::Config::for_problem(n, 0.5));
+  const auto cycle_dense = [&](auto&& make) {
+    for (std::uint64_t c = 0; c < kCycles; ++c) {
+      auto&& t = make();
+      t->seed(0, 7);
+      rt.round("lease.bench", 1, [&](ampc::MachineContext&) { t->put(1, 9); });
+    }
+  };
+  const Timed fresh = run_timed(kCycles, h.topt, [&] {
+    cycle_dense([&] {
+      // Owning wrapper so fresh and pooled cycles share the loop body.
+      struct Fresh {
+        ampc::DenseTable<std::uint64_t> t;
+        ampc::DenseTable<std::uint64_t>* operator->() { return &t; }
+      };
+      return Fresh{{rt, "bench.fresh", n, 0}};
+    });
+  });
+  const Timed pooled = run_timed(kCycles, h.topt, [&] {
+    cycle_dense([&] { return rt.lease_dense<std::uint64_t>("bench.lease", n, 0); });
+  });
+  BenchResult r;
+  r.name = "table_lease_reuse";
+  r.ns_per_op = pooled.ns_per_op;
+  r.iterations = pooled.iterations;
+  r.extra["fresh_ns_per_op"] = fresh.ns_per_op;
+  r.extra["reuse_speedup"] = fresh.ns_per_op / std::max(1e-9, pooled.ns_per_op);
+  h.record(std::move(r), n);
+}
+
 void bench_list_rank(Harness& h, std::uint64_t n) {
   std::vector<std::uint64_t> next(n, ampc::kNoNext);
   std::vector<std::uint64_t> order(n);
@@ -228,6 +266,14 @@ int main(int argc, char** argv) {
     bench_table_put_commit(h, n);
     bench_dense_put_commit(h, n);
     bench_table_get(h, n);
+  }
+  // Table-lifecycle fixed costs (the pool's target regime is small tables:
+  // k-cut components, list-ranking levels).
+  for (const std::uint64_t n : mode == Mode::kSmoke
+                                   ? std::vector<std::uint64_t>{1 << 8}
+                                   : std::vector<std::uint64_t>{1 << 8,
+                                                                1 << 12}) {
+    bench_table_lease_reuse(h, n);
   }
 
   const bool smoke = mode == Mode::kSmoke;

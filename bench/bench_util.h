@@ -30,10 +30,15 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-// Value of "--opt value"; nullptr when absent.
+// Value of "--opt value"; nullptr when the flag is absent OR present as the
+// last token with no value to read (never index past argv). Callers that
+// must distinguish "absent" from "valueless" pair this with has_flag and
+// fail with a usage message — see threads_of and finish below.
 inline const char* arg_value(int argc, char** argv, const char* opt) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], opt) == 0) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], opt) == 0) {
+      return i + 1 < argc ? argv[i + 1] : nullptr;
+    }
   }
   return nullptr;
 }
@@ -53,7 +58,14 @@ inline Mode mode_of(int argc, char** argv) {
 // changes results, only wall time.
 inline std::uint32_t threads_of(int argc, char** argv) {
   const char* v = arg_value(argc, argv, "--threads");
-  if (v == nullptr) return 0;
+  if (v == nullptr) {
+    if (has_flag(argc, argv, "--threads")) {
+      std::fprintf(stderr,
+                   "bench_util: --threads given without a value; usage: "
+                   "--threads N (falling back to 0 = hardware concurrency)\n");
+    }
+    return 0;
+  }
   return static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
 }
 
@@ -192,10 +204,19 @@ inline void fill_model_metrics(BenchResult& r, const mpc::Metrics& m) {
 }
 
 // Writes the suite document when --json <path> was given. Returns the exit
-// code for main(): IO failure is a bench failure.
+// code for main(): IO failure is a bench failure, and so is a --json flag
+// with no path (the caller asked for output we cannot deliver).
 inline int finish(int argc, char** argv, const BenchReporter& reporter) {
   const char* path = arg_value(argc, argv, "--json");
-  if (!path) return 0;
+  if (!path) {
+    if (has_flag(argc, argv, "--json")) {
+      std::fprintf(stderr,
+                   "bench_util: --json given without a path; usage: "
+                   "--json <file>\n");
+      return 1;
+    }
+    return 0;
+  }
   if (!reporter.write_file(path)) {
     std::fprintf(stderr, "bench_util: failed to write %s\n", path);
     return 1;

@@ -87,6 +87,32 @@ void Runtime::unregister_table(detail::TableBase* table) {
   std::erase(tables_, table);
 }
 
+void Runtime::release_leased(std::unique_ptr<detail::TableBase> table) {
+  // Same program point as a direct table's destructor: the table leaves the
+  // commit set now; its storage waits (unregistered, word count excluded)
+  // for the next lease of the same concrete type to reset it in place.
+  unregister_table(table.get());
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  table_pool_[std::type_index(typeid(*table))].push_back(std::move(table));
+}
+
+Runtime::PoolStats Runtime::pool_stats() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_stats_;
+}
+
+void Runtime::reset_for_subproblem(const Config& cfg) {
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    REPRO_CHECK_MSG(tables_.empty(),
+                    "reset_for_subproblem with live tables: the previous "
+                    "subproblem's leases/tables must be released first");
+    round_buffers_ = 0;
+  }
+  cfg_ = cfg;
+  metrics_.reset();
+}
+
 void Runtime::commit_all() {
   std::lock_guard<std::mutex> lock(tables_mu_);
   // Seal every table's dirty-buffer list (O(buffers actually written), not

@@ -23,8 +23,10 @@ AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
   std::uint64_t iter_charged = 0;
   std::uint32_t calls_this_iter = 0;
 
-  auto flush_iteration = [&]() {
-    std::lock_guard<std::mutex> lock(mu);
+  // Caller must hold `mu`: the iteration counters are written by concurrent
+  // component tasks, so even the post-join "anything left?" check reads them
+  // under the lock (the lone unlocked read here was the repo's one TSan gap).
+  auto flush_iteration_locked = [&]() {
     report.measured_rounds += iter_measured;
     report.charged_rounds += iter_charged + 1;  // +1: component count [4]
     iter_measured = 0;
@@ -36,6 +38,12 @@ AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
   ThreadPool* pool = resolve_recursion_pool(opt.recursion.threads, owned);
   AmpcMinCutOptions base = opt;
   if (owned != nullptr) base.recursion.threads = 1;  // see kcut.cpp
+
+  // One runtime arena for the whole k-cut run: every component of every
+  // greedy iteration leases tracker runtimes (and their pooled tables) from
+  // it, instead of constructing a fresh Runtime per min-cut call.
+  RuntimeArena arena;
+  if (base.arena == nullptr) base.arena = &arena;
 
   const ApproxKCutResult r = apx_split_k_cut(
       g, k,
@@ -51,8 +59,15 @@ AmpcKCutReport ampc_apx_split_k_cut(const WGraph& g, std::uint32_t k,
         }
         return MinCutResult{sub.weight, sub.side};
       },
-      [&](std::uint32_t) { flush_iteration(); }, pool);
-  if (calls_this_iter > 0) flush_iteration();
+      [&](std::uint32_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        flush_iteration_locked();
+      },
+      pool);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (calls_this_iter > 0) flush_iteration_locked();
+  }
   report.result = r;
   return report;
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <memory>
 
 #include "support/check.h"
 #include "support/rng.h"
@@ -20,15 +19,15 @@ struct Level {
   std::vector<std::uint64_t> to_prev;
 };
 
-// Per-column dense tables bundled for one level.
+// Per-column dense tables bundled for one level (leased, so the column
+// storage recycles across contraction levels).
 struct ValueTables {
-  std::vector<std::unique_ptr<DenseTable<std::int64_t>>> cols;
+  std::vector<TableLease<DenseTable<std::int64_t>>> cols;
 
   ValueTables(Runtime& rt, const char* name,
               const std::vector<std::vector<std::int64_t>>& value) {
     for (const auto& col : value) {
-      cols.push_back(
-          std::make_unique<DenseTable<std::int64_t>>(rt, name, col.size()));
+      cols.push_back(rt.lease_dense<std::int64_t>(name, col.size()));
       for (std::uint64_t i = 0; i < col.size(); ++i) {
         cols.back()->seed(i, col[i]);
       }
@@ -64,40 +63,39 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
         0.5,
         1.0 / std::sqrt(static_cast<double>(std::max<std::uint64_t>(4, mem))));
 
-    DenseTable<std::uint64_t> t_next(rt, "lr.next", n);
+    auto t_next = rt.lease_dense<std::uint64_t>("lr.next", n);
     ValueTables t_val(rt, "lr.val", cur.value);
-    DenseTable<std::uint8_t> t_sampled(rt, "lr.sampled", n, 0);
-    for (std::uint64_t i = 0; i < n; ++i) t_next.seed(i, cur.next[i]);
+    auto t_sampled = rt.lease_dense<std::uint8_t>("lr.sampled", n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) t_next->seed(i, cur.next[i]);
     const std::uint64_t lvl_seed = level_rng.next_u64();
 
     // Round 1: every element flips its sampling coin; tails always sample
     // (the recursion must retain every list's anchor).
     rt.round_over_items("list_rank.sample", n,
                         [&](MachineContext&, std::uint64_t i) {
-      const bool tail = t_next.get(i) == kNoNext;
+      const bool tail = t_next->get(i) == kNoNext;
       const bool coin = Rng(splitmix64(lvl_seed ^ i)).next_bernoulli(q);
-      if (tail || coin) t_sampled.put(i, 1);
+      if (tail || coin) t_sampled->put(i, 1);
     });
 
     // Round 2: sampled elements walk to the next sampled element, summing
     // skipped values per column — the adaptive step MPC cannot do in O(1).
-    DenseTable<std::uint64_t> t_succ(rt, "lr.succ", n, kNoNext);
-    std::vector<std::unique_ptr<DenseTable<std::int64_t>>> t_segsum;
+    auto t_succ = rt.lease_dense<std::uint64_t>("lr.succ", n, kNoNext);
+    std::vector<TableLease<DenseTable<std::int64_t>>> t_segsum;
     for (std::size_t c = 0; c < k; ++c) {
-      t_segsum.push_back(
-          std::make_unique<DenseTable<std::int64_t>>(rt, "lr.segsum", n, 0));
+      t_segsum.push_back(rt.lease_dense<std::int64_t>("lr.segsum", n, 0));
     }
     rt.round_over_items("list_rank.walk", n,
                         [&](MachineContext&, std::uint64_t i) {
-      if (!t_sampled.get(i)) return;
+      if (!t_sampled->get(i)) return;
       std::vector<std::int64_t> acc(k);
       for (std::size_t c = 0; c < k; ++c) acc[c] = t_val.cols[c]->get(i);
-      std::uint64_t j = t_next.get(i);
-      while (j != kNoNext && !t_sampled.get(j)) {
+      std::uint64_t j = t_next->get(i);
+      while (j != kNoNext && !t_sampled->get(j)) {
         for (std::size_t c = 0; c < k; ++c) acc[c] += t_val.cols[c]->get(j);
-        j = t_next.get(j);
+        j = t_next->get(j);
       }
-      t_succ.put(i, j);
+      t_succ->put(i, j);
       for (std::size_t c = 0; c < k; ++c) t_segsum[c]->put(i, acc[c]);
     });
 
@@ -108,7 +106,7 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
     Level nxt;
     std::vector<std::uint64_t> dense(n, kNoNext);
     for (std::uint64_t i = 0; i < n; ++i) {
-      if (t_sampled.raw(i)) {
+      if (t_sampled->raw(i)) {
         dense[i] = nxt.to_prev.size();
         nxt.to_prev.push_back(i);
       }
@@ -119,17 +117,16 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
       // walks to its tail; walks are short exactly in this regime (a long
       // all-sampled chain has probability q^len).
       Level& cur_level = levels.back();
-      std::vector<std::unique_ptr<DenseTable<std::int64_t>>> t_rank;
+      std::vector<TableLease<DenseTable<std::int64_t>>> t_rank;
       for (std::size_t c = 0; c < k; ++c) {
-        t_rank.push_back(
-            std::make_unique<DenseTable<std::int64_t>>(rt, "lr.walkout", n, 0));
+        t_rank.push_back(rt.lease_dense<std::int64_t>("lr.walkout", n, 0));
       }
       rt.round_over_items("list_rank.direct_walk", n,
                           [&](MachineContext&, std::uint64_t i) {
         std::vector<std::int64_t> acc(k);
         for (std::size_t c = 0; c < k; ++c) acc[c] = t_val.cols[c]->get(i);
-        for (std::uint64_t j = t_next.get(i); j != kNoNext;
-             j = t_next.get(j)) {
+        for (std::uint64_t j = t_next->get(i); j != kNoNext;
+             j = t_next->get(j)) {
           for (std::size_t c = 0; c < k; ++c) acc[c] += t_val.cols[c]->get(j);
         }
         for (std::size_t c = 0; c < k; ++c) t_rank[c]->put(i, acc[c]);
@@ -146,7 +143,7 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
     nxt.value.assign(k, std::vector<std::int64_t>(nxt.to_prev.size()));
     for (std::uint64_t d = 0; d < nxt.to_prev.size(); ++d) {
       const std::uint64_t i = nxt.to_prev[d];
-      const std::uint64_t s = t_succ.raw(i);
+      const std::uint64_t s = t_succ->raw(i);
       nxt.next[d] = (s == kNoNext) ? kNoNext : dense[s];
       for (std::size_t c = 0; c < k; ++c) nxt.value[c][d] = t_segsum[c]->raw(i);
     }
@@ -157,14 +154,13 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
   if (!resolved_by_walk) {
     Level& base = levels.back();
     const std::uint64_t n = base.next.size();
-    DenseTable<std::uint64_t> t_next(rt, "lr.base.next", n);
+    auto t_next = rt.lease_dense<std::uint64_t>("lr.base.next", n);
     ValueTables t_val(rt, "lr.base.val", base.value);
-    std::vector<std::unique_ptr<DenseTable<std::int64_t>>> t_rank;
+    std::vector<TableLease<DenseTable<std::int64_t>>> t_rank;
     for (std::size_t c = 0; c < k; ++c) {
-      t_rank.push_back(
-          std::make_unique<DenseTable<std::int64_t>>(rt, "lr.base.rank", n, 0));
+      t_rank.push_back(rt.lease_dense<std::int64_t>("lr.base.rank", n, 0));
     }
-    for (std::uint64_t i = 0; i < n; ++i) t_next.seed(i, base.next[i]);
+    for (std::uint64_t i = 0; i < n; ++i) t_next->seed(i, base.next[i]);
     rt.round("list_rank.base", 1, [&](MachineContext&) {
       // One machine ranks all chains locally: find heads (elements nobody
       // points to), then suffix-sum each chain back to front.
@@ -173,7 +169,7 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
                                                  std::vector<std::int64_t>(n));
       std::vector<std::uint8_t> has_pred(n, 0);
       for (std::uint64_t i = 0; i < n; ++i) {
-        nxt[i] = t_next.get(i);
+        nxt[i] = t_next->get(i);
         for (std::size_t c = 0; c < k; ++c) val[c][i] = t_val.cols[c]->get(i);
         if (nxt[i] != kNoNext) has_pred[nxt[i]] = 1;
       }
@@ -203,19 +199,17 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
     const Level& coarse = levels[li + 1];
     const std::uint64_t n = fine.next.size();
     constexpr std::int64_t kUnset = std::numeric_limits<std::int64_t>::min();
-    DenseTable<std::uint64_t> t_next(rt, "lr.x.next", n);
+    auto t_next = rt.lease_dense<std::uint64_t>("lr.x.next", n);
     ValueTables t_val(rt, "lr.x.val", fine.value);
-    DenseTable<std::uint8_t> t_known(rt, "lr.x.known", n, 0);
-    std::vector<std::unique_ptr<DenseTable<std::int64_t>>> t_rank_s, t_rank;
+    auto t_known = rt.lease_dense<std::uint8_t>("lr.x.known", n, 0);
+    std::vector<TableLease<DenseTable<std::int64_t>>> t_rank_s, t_rank;
     for (std::size_t c = 0; c < k; ++c) {
-      t_rank_s.push_back(std::make_unique<DenseTable<std::int64_t>>(
-          rt, "lr.x.ranks", n, kUnset));
-      t_rank.push_back(
-          std::make_unique<DenseTable<std::int64_t>>(rt, "lr.x.rank", n, 0));
+      t_rank_s.push_back(rt.lease_dense<std::int64_t>("lr.x.ranks", n, kUnset));
+      t_rank.push_back(rt.lease_dense<std::int64_t>("lr.x.rank", n, 0));
     }
-    for (std::uint64_t i = 0; i < n; ++i) t_next.seed(i, fine.next[i]);
+    for (std::uint64_t i = 0; i < n; ++i) t_next->seed(i, fine.next[i]);
     for (std::uint64_t d = 0; d < coarse.to_prev.size(); ++d) {
-      t_known.seed(coarse.to_prev[d], 1);
+      t_known->seed(coarse.to_prev[d], 1);
       for (std::size_t c = 0; c < k; ++c) {
         t_rank_s[c]->seed(coarse.to_prev[d], coarse.value[c][d]);
       }
@@ -223,7 +217,7 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
     rt.round_over_items("list_rank.expand", n,
                         [&](MachineContext&, std::uint64_t i) {
       // rank(i) = values i..pred(s) + rank(s) for the next sampled s.
-      if (t_known.get(i)) {
+      if (t_known->get(i)) {
         for (std::size_t c = 0; c < k; ++c) {
           t_rank[c]->put(i, t_rank_s[c]->get(i));
         }
@@ -231,14 +225,14 @@ std::vector<std::vector<std::int64_t>> list_rank_multi(
       }
       std::vector<std::int64_t> acc(k);
       for (std::size_t c = 0; c < k; ++c) acc[c] = t_val.cols[c]->get(i);
-      std::uint64_t j = t_next.get(i);
+      std::uint64_t j = t_next->get(i);
       while (j != kNoNext) {
-        if (t_known.get(j)) {
+        if (t_known->get(j)) {
           for (std::size_t c = 0; c < k; ++c) acc[c] += t_rank_s[c]->get(j);
           break;
         }
         for (std::size_t c = 0; c < k; ++c) acc[c] += t_val.cols[c]->get(j);
-        j = t_next.get(j);
+        j = t_next->get(j);
       }
       for (std::size_t c = 0; c < k; ++c) t_rank[c]->put(i, acc[c]);
     });

@@ -22,19 +22,19 @@ AmpcDecomposition ampc_low_depth_decomposition(Runtime& rt,
   // --- Heavy children (Definition 2): one merge-reduction round. ----------
   // Encoded proposal (subtree << 32) | (~child) under kMax picks the largest
   // subtree, breaking ties toward the smaller child id (matches seq).
-  DenseTable<std::uint64_t> t_subtree(rt, "ldd.subtree", n);
-  for (VertexId v = 0; v < n; ++v) t_subtree.seed(v, tree.subtree[v]);
-  Table<std::uint64_t, std::uint64_t> t_heavy_prop(rt, "ldd.heavyprop",
-                                                   Merge::kMax);
+  auto t_subtree = rt.lease_dense<std::uint64_t>("ldd.subtree", n);
+  for (VertexId v = 0; v < n; ++v) t_subtree->seed(v, tree.subtree[v]);
+  auto t_heavy_prop = rt.lease_table<std::uint64_t, std::uint64_t>(
+      "ldd.heavyprop", Merge::kMax);
   rt.round_over_items("low_depth.heavy", n, [&](MachineContext&, std::uint64_t v) {
     const VertexId p = tree.parent[v];
     if (p == kInvalidVertex) return;
     const std::uint64_t enc =
-        (t_subtree.get(v) << 32) | (0xffffffffull - v);
-    t_heavy_prop.put(p, enc);
+        (t_subtree->get(v) << 32) | (0xffffffffull - v);
+    t_heavy_prop->put(p, enc);
   });
   std::vector<VertexId> heavy(n, kInvalidVertex);
-  for (const auto& [p, enc] : t_heavy_prop.snapshot()) {
+  for (const auto& [p, enc] : t_heavy_prop->snapshot()) {
     heavy[p] = static_cast<VertexId>(0xffffffffull - (enc & 0xffffffffull));
   }
 
@@ -69,15 +69,15 @@ AmpcDecomposition ampc_low_depth_decomposition(Runtime& rt,
   // Each head reads the (pos, len) geometry of its chain of attachment
   // vertices up to the root path — O(log n) hops (Observation 1) — and
   // resolves the expanded depths locally (Observation 6 bounds them).
-  DenseTable<std::uint64_t> t_pos(rt, "ldd.pos", n);
-  DenseTable<std::uint64_t> t_len(rt, "ldd.len", n);
-  DenseTable<std::uint64_t> t_head(rt, "ldd.head", n);
+  auto t_pos = rt.lease_dense<std::uint64_t>("ldd.pos", n);
+  auto t_len = rt.lease_dense<std::uint64_t>("ldd.len", n);
+  auto t_head = rt.lease_dense<std::uint64_t>("ldd.head", n);
   for (VertexId v = 0; v < n; ++v) {
-    t_pos.seed(v, d.pos[v]);
-    t_len.seed(v, d.len[v]);
-    t_head.seed(v, d.head[v]);
+    t_pos->seed(v, d.pos[v]);
+    t_len->seed(v, d.len[v]);
+    t_head->seed(v, d.head[v]);
   }
-  DenseTable<std::uint64_t> t_base(rt, "ldd.base", n, 0);  // per head vertex
+  auto t_base = rt.lease_dense<std::uint64_t>("ldd.base", n, 0);  // per head
   rt.round_over_items("low_depth.base_depth", n,
                       [&](MachineContext&, std::uint64_t v) {
     if (d.head[v] != v) return;  // one machine task per head
@@ -87,8 +87,8 @@ AmpcDecomposition ampc_low_depth_decomposition(Runtime& rt,
     for (;;) {
       const VertexId attach = tree.parent[cur];
       if (attach == kInvalidVertex) break;
-      geom.emplace_back(t_pos.get(attach), t_len.get(attach));
-      cur = static_cast<VertexId>(t_head.get(attach));
+      geom.emplace_back(t_pos->get(attach), t_len->get(attach));
+      cur = static_cast<VertexId>(t_head->get(attach));
     }
     // Resolve top-down: base(root path) = 1; each hop adds the attachment
     // leaf's depth within its binarized path.
@@ -99,25 +99,25 @@ AmpcDecomposition ampc_low_depth_decomposition(Runtime& rt,
           base + binpath::depth(binpath::leaf_index(ll, pp)) - 1;
       base = leaf_d + 1;
     }
-    t_base.put(v, base);
+    t_base->put(v, base);
   });
 
   // --- Labels: pure local arithmetic per vertex (one round). --------------
-  DenseTable<std::uint64_t> t_label(rt, "ldd.label", n, 0);
-  DenseTable<std::uint64_t> t_leafd(rt, "ldd.leafd", n, 0);
+  auto t_label = rt.lease_dense<std::uint64_t>("ldd.label", n, 0);
+  auto t_leafd = rt.lease_dense<std::uint64_t>("ldd.leafd", n, 0);
   rt.round_over_items("low_depth.label", n, [&](MachineContext&, std::uint64_t v) {
-    const std::uint64_t h = t_head.get(v);
-    const std::uint64_t base = t_base.get(h);
-    const std::uint64_t L = t_len.get(v);
-    const std::uint64_t j = t_pos.get(v);
+    const std::uint64_t h = t_head->get(v);
+    const std::uint64_t base = t_base->get(h);
+    const std::uint64_t L = t_len->get(v);
+    const std::uint64_t j = t_pos->get(v);
     const auto leaf = binpath::leaf_index(L, j);
-    t_label.put(v, base + binpath::leaf_label(L, leaf) - 1);
-    t_leafd.put(v, base + binpath::depth(leaf) - 1);
+    t_label->put(v, base + binpath::leaf_label(L, leaf) - 1);
+    t_leafd->put(v, base + binpath::depth(leaf) - 1);
   });
   for (VertexId v = 0; v < n; ++v) {
-    d.base_depth[v] = static_cast<std::uint32_t>(t_base.raw(d.head[v]));
-    d.label[v] = static_cast<std::uint32_t>(t_label.raw(v));
-    d.leaf_depth[v] = static_cast<std::uint32_t>(t_leafd.raw(v));
+    d.base_depth[v] = static_cast<std::uint32_t>(t_base->raw(d.head[v]));
+    d.label[v] = static_cast<std::uint32_t>(t_label->raw(v));
+    d.leaf_depth[v] = static_cast<std::uint32_t>(t_leafd->raw(v));
     REPRO_CHECK(d.label[v] >= 1);
     d.height = std::max(d.height, d.label[v]);
   }

@@ -24,14 +24,22 @@ AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
   std::map<std::uint32_t, std::uint64_t> level_charged;
   bool any_local = false;
 
+  // Tracker runs lease runtimes from the caller's arena (or a local one):
+  // concurrent recursion branches get distinct runtimes, sequential reruns
+  // reuse one runtime's pooled tables instead of reallocating them.
+  RuntimeArena local_arena;
+  RuntimeArena* arena = opt.arena != nullptr ? opt.arena : &local_arena;
+
   MinCutBackend backend;
-  backend.track_singleton = [&](const WGraph& inst, const ContractionOrder& o,
-                                std::uint32_t level) {
-    Runtime rt(Config::for_problem(inst.n + inst.m(), opt.model_eps));
+  backend.track_singleton = [&, arena](const WGraph& inst,
+                                       const ContractionOrder& o,
+                                       std::uint32_t level) {
+    RuntimeArena::Lease rt =
+        arena->acquire(Config::for_problem(inst.n + inst.m(), opt.model_eps));
     AmpcSingletonOptions sopt;
     sopt.use_boruvka_msf = opt.use_boruvka_msf;
-    const SingletonCutResult r = ampc_min_singleton_cut(rt, inst, o, sopt);
-    const Metrics& m = rt.metrics();
+    const SingletonCutResult r = ampc_min_singleton_cut(*rt, inst, o, sopt);
+    const Metrics& m = rt->metrics();
     std::lock_guard<std::mutex> lock(mu);
     level_measured[level] = std::max(level_measured[level], m.rounds);
     level_charged[level] = std::max(level_charged[level], m.charged_rounds);

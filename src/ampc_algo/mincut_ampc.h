@@ -31,6 +31,12 @@ struct AmpcMinCutOptions {
   ApproxMinCutOptions recursion;  // schedule (eps, trials, threshold, seed)
   double model_eps = 0.5;         // machine memory exponent N^eps
   bool use_boruvka_msf = false;   // measured MSF instead of cited (E10)
+  // Borrowed runtime arena: tracker runs lease runtimes (and their table
+  // pools) from here instead of constructing one per call. nullptr = a
+  // per-call local arena. k-cut shares one arena across all components and
+  // iterations; benches can share one across sweep points. Never affects
+  // results or metrics (DESIGN.md "Table and runtime pooling").
+  RuntimeArena* arena = nullptr;
 };
 
 struct AmpcMinCutReport {

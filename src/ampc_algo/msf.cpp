@@ -23,25 +23,26 @@ std::vector<EdgeId> ampc_msf_boruvka(Runtime& rt, const WGraph& g,
   VertexId num_comps = n;
   for (;;) {
     // Phase round 1: every vertex proposes its component's cheapest incident
-    // edge leaving the component (min by contraction time).
-    DenseTable<std::uint64_t> t_comp(rt, "msf.comp", n);
-    for (VertexId v = 0; v < n; ++v) t_comp.seed(v, comp[v]);
-    Table<std::uint64_t, std::uint64_t> t_min_edge(rt, "msf.minedge",
-                                                   Merge::kMin);
+    // edge leaving the component (min by contraction time). Tables are
+    // leased so each Boruvka phase reuses the previous phase's storage.
+    auto t_comp = rt.lease_dense<std::uint64_t>("msf.comp", n);
+    for (VertexId v = 0; v < n; ++v) t_comp->seed(v, comp[v]);
+    auto t_min_edge =
+        rt.lease_table<std::uint64_t, std::uint64_t>("msf.minedge", Merge::kMin);
     rt.round_over_items("msf.propose", n, [&](MachineContext& ctx, std::uint64_t v) {
-      const std::uint64_t cv = t_comp.get(v);
+      const std::uint64_t cv = t_comp->get(v);
       ctx.count_read(adj.degree(static_cast<VertexId>(v)));
       std::uint64_t best = kNoNext;
       for (const auto& arc : adj.neighbors(static_cast<VertexId>(v))) {
-        if (t_comp.get(arc.to) == cv) continue;
+        if (t_comp->get(arc.to) == cv) continue;
         const std::uint64_t key =
             (static_cast<std::uint64_t>(order.time[arc.edge]) << 32) | arc.edge;
         best = std::min(best, key);
       }
-      if (best != kNoNext) t_min_edge.put(cv, best);
+      if (best != kNoNext) t_min_edge->put(cv, best);
     });
 
-    const auto proposals = t_min_edge.snapshot();
+    const auto proposals = t_min_edge->snapshot();
     if (proposals.empty()) break;  // spanning forest complete
 
     // Phase round 2: contract along the hook pointers. With unique times the
@@ -50,36 +51,36 @@ std::vector<EdgeId> ampc_msf_boruvka(Runtime& rt, const WGraph& g,
     // along a chain) and roots itself at the smaller label of its 2-cycle.
     // Walks may exceed the per-machine budget on adversarial chains — the
     // runtime records the violation; [4]'s full algorithm avoids it.
-    DenseTable<std::uint64_t> t_hook(rt, "msf.hook", n, kNoNext);
+    auto t_hook = rt.lease_dense<std::uint64_t>("msf.hook", n, kNoNext);
     for (const auto& [c, key] : proposals) {
       const EdgeId e = static_cast<EdgeId>(key & 0xffffffffull);
       if (!in_forest[e]) in_forest[e] = 1;
       const VertexId cu = comp[g.edges[e].u];
       const VertexId cv2 = comp[g.edges[e].v];
       const VertexId other = (cu == c) ? cv2 : cu;
-      t_hook.seed(c, other);
+      t_hook->seed(c, other);
     }
     (void)budget;
-    DenseTable<std::uint64_t> t_new(rt, "msf.newlabel", n);
+    auto t_new = rt.lease_dense<std::uint64_t>("msf.newlabel", n);
     rt.round_over_items("msf.contract", n, [&](MachineContext&, std::uint64_t v) {
-      std::uint64_t cur = t_comp.get(v);
+      std::uint64_t cur = t_comp->get(v);
       for (std::uint64_t hops = 0; hops <= n; ++hops) {
-        const std::uint64_t h = t_hook.get(cur);
+        const std::uint64_t h = t_hook->get(cur);
         if (h == kNoNext) break;  // root: component proposed nothing
-        const std::uint64_t hh = t_hook.get(h);
+        const std::uint64_t hh = t_hook->get(h);
         if (hh == cur) {  // 2-cycle: smaller label wins
           cur = std::min(cur, h);
           break;
         }
         cur = h;
       }
-      t_new.put(v, cur);
+      t_new->put(v, cur);
     });
     VertexId fresh_comps = 0;
     {
       std::vector<std::uint8_t> seen(n, 0);
       for (VertexId v = 0; v < n; ++v) {
-        comp[v] = static_cast<VertexId>(t_new.raw(v));
+        comp[v] = static_cast<VertexId>(t_new->raw(v));
         if (!seen[comp[v]]) {
           seen[comp[v]] = 1;
           ++fresh_comps;

@@ -46,18 +46,18 @@ std::vector<std::int64_t> prefix_sums(Runtime& rt,
   while (tiers.back().size() > 1) {
     const auto& cur = tiers.back();
     const std::uint64_t blocks = ceil_div(cur.size(), B);
-    DenseTable<std::int64_t> t_in(rt, "psum.in", cur.size());
-    DenseTable<std::int64_t> t_out(rt, "psum.out", blocks, 0);
-    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in.seed(i, cur[i]);
+    auto t_in = rt.lease_dense<std::int64_t>("psum.in", cur.size());
+    auto t_out = rt.lease_dense<std::int64_t>("psum.out", blocks, 0);
+    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in->seed(i, cur[i]);
     rt.round("prefix_sums.up", blocks, [&](MachineContext& ctx) {
       const std::uint64_t b = ctx.machine_id();
       const std::uint64_t lo = b * B, hi = std::min<std::uint64_t>(cur.size(), lo + B);
       std::int64_t s = 0;
-      for (std::uint64_t i = lo; i < hi; ++i) s += t_in.get(i);
-      t_out.put(b, s);
+      for (std::uint64_t i = lo; i < hi; ++i) s += t_in->get(i);
+      t_out->put(b, s);
     });
     std::vector<std::int64_t> nxt(blocks);
-    for (std::uint64_t b = 0; b < blocks; ++b) nxt[b] = t_out.raw(b);
+    for (std::uint64_t b = 0; b < blocks; ++b) nxt[b] = t_out->raw(b);
     tiers.push_back(std::move(nxt));
     if (blocks == 1) break;
   }
@@ -66,30 +66,30 @@ std::vector<std::int64_t> prefix_sums(Runtime& rt,
   std::vector<std::int64_t> carry{0};  // exclusive prefix per top-tier block
   for (std::size_t t = tiers.size(); t-- > 0;) {
     const auto& cur = tiers[t];
-    DenseTable<std::int64_t> t_in(rt, "psum.d.in", cur.size());
-    DenseTable<std::int64_t> t_carry(rt, "psum.d.carry", carry.size());
-    DenseTable<std::int64_t> t_out(rt, "psum.d.out", cur.size(), 0);
-    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in.seed(i, cur[i]);
-    for (std::uint64_t i = 0; i < carry.size(); ++i) t_carry.seed(i, carry[i]);
+    auto t_in = rt.lease_dense<std::int64_t>("psum.d.in", cur.size());
+    auto t_carry = rt.lease_dense<std::int64_t>("psum.d.carry", carry.size());
+    auto t_out = rt.lease_dense<std::int64_t>("psum.d.out", cur.size(), 0);
+    for (std::uint64_t i = 0; i < cur.size(); ++i) t_in->seed(i, cur[i]);
+    for (std::uint64_t i = 0; i < carry.size(); ++i) t_carry->seed(i, carry[i]);
     const std::uint64_t blocks = ceil_div(cur.size(), B);
     rt.round("prefix_sums.down", blocks, [&](MachineContext& ctx) {
       const std::uint64_t b = ctx.machine_id();
       const std::uint64_t lo = b * B, hi = std::min<std::uint64_t>(cur.size(), lo + B);
-      std::int64_t acc = t_carry.get(b);
+      std::int64_t acc = t_carry->get(b);
       for (std::uint64_t i = lo; i < hi; ++i) {
-        acc += t_in.get(i);
-        t_out.put(i, acc);  // inclusive prefix
+        acc += t_in->get(i);
+        t_out->put(i, acc);  // inclusive prefix
       }
     });
     if (t == 0) {
       std::vector<std::int64_t> out(cur.size());
-      for (std::uint64_t i = 0; i < cur.size(); ++i) out[i] = t_out.raw(i);
+      for (std::uint64_t i = 0; i < cur.size(); ++i) out[i] = t_out->raw(i);
       return out;
     }
     // Exclusive prefixes for the tier below = inclusive prefix minus own sum.
     std::vector<std::int64_t> next_carry(cur.size());
     for (std::uint64_t i = 0; i < cur.size(); ++i) {
-      next_carry[i] = t_out.raw(i) - cur[i];
+      next_carry[i] = t_out->raw(i) - cur[i];
     }
     carry = std::move(next_carry);
   }
@@ -125,27 +125,27 @@ std::vector<MinPrefixResult> segmented_min_prefix_sum(
         units.push_back({s, offsets[s], offsets[s]});  // empty segment marker
       }
     }
-    DenseTable<std::int64_t> t_vals(rt, "smp.vals", values.size());
-    for (std::uint64_t i = 0; i < values.size(); ++i) t_vals.seed(i, values[i]);
-    DenseTable<Summary> t_out(rt, "smp.t0", units.size());
+    auto t_vals = rt.lease_dense<std::int64_t>("smp.vals", values.size());
+    for (std::uint64_t i = 0; i < values.size(); ++i) t_vals->seed(i, values[i]);
+    auto t_out = rt.lease_dense<Summary>("smp.t0", units.size());
     rt.round("segmented_min_prefix.leaf", units.size(), [&](MachineContext& ctx) {
       const Unit& u = units[ctx.machine_id()];
       Summary s;
       std::int64_t acc = 0;
       for (std::uint64_t i = u.lo; i < u.hi; ++i) {
-        acc += t_vals.get(i);
+        acc += t_vals->get(i);
         if (acc < s.min_prefix) {
           s.min_prefix = acc;
           s.argmin = i - offsets[u.seg];
         }
       }
       s.sum = acc;
-      t_out.put(ctx.machine_id(), s);
+      t_out->put(ctx.machine_id(), s);
     });
     cur.resize(units.size());
     cur_seg.resize(units.size());
     for (std::uint64_t i = 0; i < units.size(); ++i) {
-      cur[i] = t_out.raw(i);
+      cur[i] = t_out->raw(i);
       cur_seg[i] = units[i].seg;
     }
   }
@@ -163,9 +163,9 @@ std::vector<MinPrefixResult> segmented_min_prefix_sum(
       }
       i = j;
     }
-    DenseTable<Summary> t_in(rt, "smp.in", cur.size());
-    for (std::uint64_t k = 0; k < cur.size(); ++k) t_in.seed(k, cur[k]);
-    DenseTable<Summary> t_out(rt, "smp.out", units.size());
+    auto t_in = rt.lease_dense<Summary>("smp.in", cur.size());
+    for (std::uint64_t k = 0; k < cur.size(); ++k) t_in->seed(k, cur[k]);
+    auto t_out = rt.lease_dense<Summary>("smp.out", units.size());
     rt.round("segmented_min_prefix.combine", units.size(),
              [&](MachineContext& ctx) {
                const Unit& u = units[ctx.machine_id()];
@@ -173,16 +173,16 @@ std::vector<MinPrefixResult> segmented_min_prefix_sum(
                acc.min_prefix = std::numeric_limits<std::int64_t>::max();
                bool first = true;
                for (std::uint64_t k = u.lo; k < u.hi; ++k) {
-                 const Summary s = t_in.get(k);
+                 const Summary s = t_in->get(k);
                  acc = first ? s : combine(acc, s);
                  first = false;
                }
-               t_out.put(ctx.machine_id(), acc);
+               t_out->put(ctx.machine_id(), acc);
              });
     std::vector<Summary> nxt(units.size());
     std::vector<std::uint64_t> nxt_seg(units.size());
     for (std::uint64_t k = 0; k < units.size(); ++k) {
-      nxt[k] = t_out.raw(k);
+      nxt[k] = t_out->raw(k);
       nxt_seg[k] = units[k].seg;
     }
     if (nxt.size() == cur.size()) break;  // nothing left to combine

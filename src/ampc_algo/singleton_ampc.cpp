@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <memory>
 #include <mutex>
 
 #include "ampc_algo/list_ranking.h"
@@ -49,11 +48,11 @@ class AmpcPathMax {
     std::vector<TimeStep> base(n_, 0);
     for (VertexId v = 0; v < n_; ++v) base[gpos[v]] = tree.parent_time[v];
 
-    t_head_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.head", n_);
-    t_parent_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.par", n_);
-    t_depth_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.dep", n_);
-    t_ptime_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.pt", n_);
-    t_gpos_ = std::make_unique<DenseTable<std::uint64_t>>(rt, "pm.gpos", n_);
+    t_head_ = rt.lease_dense<std::uint64_t>("pm.head", n_);
+    t_parent_ = rt.lease_dense<std::uint64_t>("pm.par", n_);
+    t_depth_ = rt.lease_dense<std::uint64_t>("pm.dep", n_);
+    t_ptime_ = rt.lease_dense<std::uint64_t>("pm.pt", n_);
+    t_gpos_ = rt.lease_dense<std::uint64_t>("pm.gpos", n_);
     for (VertexId v = 0; v < n_; ++v) {
       t_head_->seed(v, d.head[v]);
       t_parent_->seed(v, tree.parent[v] == kInvalidVertex
@@ -73,8 +72,7 @@ class AmpcPathMax {
       const std::uint32_t len = (1u << k) <= n_ ? n_ - (1u << k) + 1 : 0;
       level_off_[k + 1] = level_off_[k] + len;
     }
-    sparse_ = std::make_unique<DenseTable<std::uint64_t>>(
-        rt, "pm.sparse", level_off_[levels]);
+    sparse_ = rt.lease_dense<std::uint64_t>("pm.sparse", level_off_[levels]);
     std::vector<TimeStep> cur = base;
     for (std::uint32_t k = 0; k < levels; ++k) {
       const std::uint32_t span = 1u << k;
@@ -143,9 +141,9 @@ class AmpcPathMax {
   }
 
   VertexId n_;
-  std::unique_ptr<DenseTable<std::uint64_t>> t_head_, t_parent_, t_depth_,
+  TableLease<DenseTable<std::uint64_t>> t_head_, t_parent_, t_depth_,
       t_ptime_, t_gpos_;
-  std::unique_ptr<DenseTable<std::uint64_t>> sparse_;  // levels concatenated
+  TableLease<DenseTable<std::uint64_t>> sparse_;  // levels concatenated
   std::vector<std::uint32_t> level_off_;
 };
 
@@ -192,34 +190,34 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
   const AmpcPathMax pm(rt, tree, d);
 
   // Geometry tables for the walks.
-  DenseTable<std::uint64_t> t_label(rt, "sc.label", n);
-  DenseTable<std::uint64_t> t_head(rt, "sc.head", n);
-  DenseTable<std::uint64_t> t_pos(rt, "sc.pos", n);
-  DenseTable<std::uint64_t> t_len(rt, "sc.len", n);
-  DenseTable<std::uint64_t> t_base(rt, "sc.base", n);
-  DenseTable<std::uint64_t> t_parent(rt, "sc.parent", n);
+  auto t_label = rt.lease_dense<std::uint64_t>("sc.label", n);
+  auto t_head = rt.lease_dense<std::uint64_t>("sc.head", n);
+  auto t_pos = rt.lease_dense<std::uint64_t>("sc.pos", n);
+  auto t_len = rt.lease_dense<std::uint64_t>("sc.len", n);
+  auto t_base = rt.lease_dense<std::uint64_t>("sc.base", n);
+  auto t_parent = rt.lease_dense<std::uint64_t>("sc.parent", n);
   // Vertex at a global (path, position) slot — heads own contiguous ranges.
-  DenseTable<std::uint64_t> t_vertex_at(rt, "sc.vat", n);
-  DenseTable<std::uint64_t> t_path_off(rt, "sc.poff", n, 0);
+  auto t_vertex_at = rt.lease_dense<std::uint64_t>("sc.vat", n);
+  auto t_path_off = rt.lease_dense<std::uint64_t>("sc.poff", n, 0);
   {
     std::uint64_t off = 0;
     std::vector<std::uint64_t> offset_of_head(n, 0);
     for (VertexId v = 0; v < n; ++v) {
       if (d.head[v] == v) {
         offset_of_head[v] = off;
-        t_path_off.seed(v, off);
+        t_path_off->seed(v, off);
         off += d.len[v];
       }
     }
     for (VertexId v = 0; v < n; ++v) {
-      t_label.seed(v, d.label[v]);
-      t_head.seed(v, d.head[v]);
-      t_pos.seed(v, d.pos[v]);
-      t_len.seed(v, d.len[v]);
-      t_base.seed(v, d.base_depth[v]);
-      t_parent.seed(v, tree.parent[v] == kInvalidVertex ? kNoNext
+      t_label->seed(v, d.label[v]);
+      t_head->seed(v, d.head[v]);
+      t_pos->seed(v, d.pos[v]);
+      t_len->seed(v, d.len[v]);
+      t_base->seed(v, d.base_depth[v]);
+      t_parent->seed(v, tree.parent[v] == kInvalidVertex ? kNoNext
                                                         : tree.parent[v]);
-      t_vertex_at.seed(offset_of_head[d.head[v]] + d.pos[v], v);
+      t_vertex_at->seed(offset_of_head[d.head[v]] + d.pos[v], v);
     }
   }
 
@@ -227,10 +225,11 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
   // exactly what get() counts via the thread-local lookup, minus the lookup.
   // The round bodies below are the measured hot loops of the tracker, so
   // their reads all go through this.
-  const auto rd = [](MachineContext& ctx, const DenseTable<std::uint64_t>& t,
+  const auto rd = [](MachineContext& ctx,
+                     const TableLease<DenseTable<std::uint64_t>>& t,
                      std::uint64_t i) {
     ctx.count_read(1);  // words_per_v() == 1 for uint64 values
-    return t.raw(i);
+    return t->raw(i);
   };
 
   // The arithmetic component walk (proof of Lemma 10): from x at level i,
@@ -282,9 +281,8 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
 
   // 4. Leader of every (vertex, level) pair, levels in parallel (Lemma 9's
   // O(log^2 n) memory blowup). Index = v * h + (i - 1).
-  DenseTable<std::uint64_t> t_leader(rt, "sc.leader",
-                                     static_cast<std::uint64_t>(n) * h,
-                                     kNoNext);
+  auto t_leader = rt.lease_dense<std::uint64_t>(
+      "sc.leader", static_cast<std::uint64_t>(n) * h, kNoNext);
   rt.round_over_items("singleton.leaders",
                       static_cast<std::uint64_t>(n) * h,
                       [&](MachineContext& ctx, std::uint64_t item) {
@@ -292,14 +290,14 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
     const auto i = static_cast<std::uint32_t>(item % h) + 1;
     if (rd(ctx, t_label, v) < i) return;  // v not alive at this level
     const ClimbResult r = climb(ctx, v, i);
-    if (r.leader != kInvalidVertex) t_leader.put(item, r.leader);
+    if (r.leader != kInvalidVertex) t_leader->put(item, r.leader);
   });
 
   // 5. ldr_time per leader (Lemma 11): at most two boundary candidates — up
   // through the interval's left end (or the attach vertex), down through its
   // right end. No boundary => the component is the whole tree; cap at
   // t_full - 1 (the complete bag is not a cut).
-  DenseTable<std::uint64_t> t_ldr(rt, "sc.ldr", n, 0);
+  auto t_ldr = rt.lease_dense<std::uint64_t>("sc.ldr", n, 0);
   rt.round_over_items("singleton.ldr_time", n,
                       [&](MachineContext& ctx, std::uint64_t v) {
     const auto i = static_cast<std::uint32_t>(rd(ctx, t_label, v));
@@ -321,10 +319,10 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
                                  vertex_on_top_path(ctx, r.top, r.b)));
     }
     if (first_absorb == std::numeric_limits<TimeStep>::max()) {
-      t_ldr.put(v, t_full - 1);
+      t_ldr->put(v, t_full - 1);
     } else {
       REPRO_CHECK(first_absorb >= 1);
-      t_ldr.put(v, first_absorb - 1);
+      t_ldr->put(v, first_absorb - 1);
     }
   });
 
@@ -402,7 +400,7 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
   std::vector<Event> events;
   events.reserve(2 * intervals.size());
   for (const auto& iv : intervals) {
-    const auto ldr = static_cast<TimeStep>(t_ldr.raw(iv.leader));
+    const auto ldr = static_cast<TimeStep>(t_ldr->raw(iv.leader));
     events.push_back({iv.leader, iv.lo, static_cast<std::int64_t>(iv.w)});
     if (iv.hi + 1 <= ldr) {  // closes beyond ldr cannot affect [0, ldr]
       events.push_back({iv.leader, static_cast<TimeStep>(iv.hi + 1),

@@ -56,34 +56,34 @@ AmpcRootedTree ampc_root_tree(Runtime& rt, VertexId n,
   }
   std::partial_sum(first_slot.begin(), first_slot.end(), first_slot.begin());
 
-  DenseTable<std::uint64_t> t_arc_pos(rt, "euler.arc_pos", num_arcs);
-  DenseTable<std::uint64_t> t_csr(rt, "euler.csr", num_arcs);
-  DenseTable<std::uint64_t> t_first(rt, "euler.first", n + 1);
+  auto t_arc_pos = rt.lease_dense<std::uint64_t>("euler.arc_pos", num_arcs);
+  auto t_csr = rt.lease_dense<std::uint64_t>("euler.csr", num_arcs);
+  auto t_first = rt.lease_dense<std::uint64_t>("euler.first", n + 1);
   for (std::uint64_t a = 0; a < num_arcs; ++a) {
-    t_arc_pos.seed(a, arc_pos[a]);
-    t_csr.seed(a, csr_arc[a]);
+    t_arc_pos->seed(a, arc_pos[a]);
+    t_csr->seed(a, csr_arc[a]);
   }
-  for (std::uint64_t v = 0; v <= n; ++v) t_first.seed(v, first_slot[v]);
+  for (std::uint64_t v = 0; v <= n; ++v) t_first->seed(v, first_slot[v]);
 
   // One round: each arc computes its Euler successor locally. succ((u,v)) is
   // the arc after (v,u) in v's circular out-list; the tour is cut at the
   // root's first outgoing arc to turn the cycle into a list.
-  DenseTable<std::uint64_t> t_next(rt, "euler.next", num_arcs, kNoNext);
+  auto t_next = rt.lease_dense<std::uint64_t>("euler.next", num_arcs, kNoNext);
   const std::uint64_t root_first_arc = csr_arc[first_slot[root]];
   rt.round_over_items("euler.successors", num_arcs,
                       [&](MachineContext&, std::uint64_t a) {
     const VertexId v = head_of(a);
     const std::uint64_t rev = a ^ 1ull;  // (v -> u)
-    const std::uint64_t rev_slot = t_arc_pos.get(rev);
-    const std::uint64_t lo = t_first.get(v);
-    const std::uint64_t hi = t_first.get(v + 1);
+    const std::uint64_t rev_slot = t_arc_pos->get(rev);
+    const std::uint64_t lo = t_first->get(v);
+    const std::uint64_t hi = t_first->get(v + 1);
     std::uint64_t succ_slot = rev_slot + 1;
     if (succ_slot == hi) succ_slot = lo;  // wrap the circular order
-    const std::uint64_t succ = t_csr.get(succ_slot);
-    if (succ != root_first_arc) t_next.put(a, succ);
+    const std::uint64_t succ = t_csr->get(succ_slot);
+    if (succ != root_first_arc) t_next->put(a, succ);
   });
   std::vector<std::uint64_t> next(num_arcs);
-  for (std::uint64_t a = 0; a < num_arcs; ++a) next[a] = t_next.raw(a);
+  for (std::uint64_t a = 0; a < num_arcs; ++a) next[a] = t_next->raw(a);
 
   // Rank 1: tour positions (suffix counts). pos = num_arcs - rank.
   const std::vector<std::int64_t> ones(num_arcs, 1);
@@ -95,25 +95,25 @@ AmpcRootedTree ampc_root_tree(Runtime& rt, VertexId n,
 
   // One round: orientation. The earlier-positioned arc of each edge is the
   // downward (parent->child) arc.
-  DenseTable<std::uint64_t> t_pos(rt, "euler.pos", num_arcs);
-  for (std::uint64_t a = 0; a < num_arcs; ++a) t_pos.seed(a, pos[a]);
-  DenseTable<std::uint64_t> t_parent(rt, "euler.parent", n, kNoNext);
-  DenseTable<std::uint64_t> t_ptime(rt, "euler.ptime", n, 0);
+  auto t_pos = rt.lease_dense<std::uint64_t>("euler.pos", num_arcs);
+  for (std::uint64_t a = 0; a < num_arcs; ++a) t_pos->seed(a, pos[a]);
+  auto t_parent = rt.lease_dense<std::uint64_t>("euler.parent", n, kNoNext);
+  auto t_ptime = rt.lease_dense<std::uint64_t>("euler.ptime", n, 0);
   rt.round_over_items("euler.orient", edges.size(),
                       [&](MachineContext&, std::uint64_t e) {
-    const std::uint64_t down = t_pos.get(2 * e) < t_pos.get(2 * e + 1)
+    const std::uint64_t down = t_pos->get(2 * e) < t_pos->get(2 * e + 1)
                                    ? 2 * e
                                    : 2 * e + 1;
     const VertexId child = head_of(down);
     const VertexId par = tail_of(down);
-    t_parent.put(child, par);
-    t_ptime.put(child, times[e]);
+    t_parent->put(child, par);
+    t_ptime->put(child, times[e]);
   });
   for (VertexId v = 0; v < n; ++v) {
-    const std::uint64_t p = t_parent.raw(v);
+    const std::uint64_t p = t_parent->raw(v);
     if (p != kNoNext) {
       out.parent[v] = static_cast<VertexId>(p);
-      out.parent_time[v] = static_cast<TimeStep>(t_ptime.raw(v));
+      out.parent_time[v] = static_cast<TimeStep>(t_ptime->raw(v));
     }
   }
   REPRO_CHECK(out.parent[root] == kInvalidVertex);
@@ -176,34 +176,34 @@ std::vector<VertexId> ampc_components(Runtime& rt, const WGraph& g) {
   // smallest label seen among neighbors' leaders. Labels only shrink;
   // when a pass changes nothing, components are exact.
   for (;;) {
-    DenseTable<std::uint64_t> t_label(rt, "cc.label", n);
-    for (VertexId v = 0; v < n; ++v) t_label.seed(v, label[v]);
-    DenseTable<std::uint64_t> t_next(rt, "cc.next", n);
+    auto t_label = rt.lease_dense<std::uint64_t>("cc.label", n);
+    for (VertexId v = 0; v < n; ++v) t_label->seed(v, label[v]);
+    auto t_next = rt.lease_dense<std::uint64_t>("cc.next", n);
     bool changed = false;
 
     rt.round_over_items("components.hook", n, [&](MachineContext& ctx, std::uint64_t v) {
       // Smallest label among self and neighbors. The CSR adjacency lives in
       // the DHT; charge one read per scanned arc.
-      std::uint64_t best = t_label.get(v);
+      std::uint64_t best = t_label->get(v);
       ctx.count_read(adj.degree(static_cast<VertexId>(v)));
       for (const auto& arc : adj.neighbors(static_cast<VertexId>(v))) {
-        best = std::min(best, t_label.get(arc.to));
+        best = std::min(best, t_label->get(arc.to));
       }
-      t_next.put(v, best);
+      t_next->put(v, best);
     });
     rt.round_over_items("components.jump", n, [&](MachineContext&, std::uint64_t v) {
       // Adaptive pointer chase: follow label links until a fixpoint or the
       // per-machine budget is exhausted.
-      std::uint64_t cur = t_next.get(v);
+      std::uint64_t cur = t_next->get(v);
       for (std::uint64_t hops = 0; hops < budget; ++hops) {
-        const std::uint64_t nxt = t_next.get(cur);
+        const std::uint64_t nxt = t_next->get(cur);
         if (nxt == cur) break;
         cur = nxt;
       }
-      t_label.put(v, cur);
+      t_label->put(v, cur);
     });
     for (VertexId v = 0; v < n; ++v) {
-      const auto fresh = static_cast<VertexId>(t_label.raw(v));
+      const auto fresh = static_cast<VertexId>(t_label->raw(v));
       if (fresh != label[v]) {
         label[v] = fresh;
         changed = true;

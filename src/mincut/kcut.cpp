@@ -87,6 +87,11 @@ ApproxKCutResult apx_split_k_cut(
     // Singleton components cannot split; everything else is solved this pass
     // (model-parallel across components), with call_seq assigned in
     // component order so seed derivation is schedule-independent.
+    // Concurrency audit (kcut_ampc.cpp's iteration-counter fix): tasks here
+    // write only their own comps[...].cut slot; splitter_calls is captured
+    // by value and advanced on the driver after the join, and every read of
+    // the slots happens after group.wait() — no shared counters, nothing to
+    // lock. The ParallelKCut suites run under TSan in CI to keep it that way.
     std::vector<std::size_t> splittable;
     for (std::size_t ci = 0; ci < comps.size(); ++ci) {
       if (comps[ci].sub.n >= 2) splittable.push_back(ci);
@@ -122,6 +127,8 @@ ApproxKCutResult apx_split_k_cut(
     }
 
     // Remove the winning cut's crossing edges (add them to D).
+    REPRO_CHECK_MSG(best_comp != comps.size(),
+                    "no splitter produced a finite-weight cut");
     const Component& win = comps[best_comp];
     for (std::size_t j = 0; j < win.sub.edges.size(); ++j) {
       const auto& se = win.sub.edges[j];

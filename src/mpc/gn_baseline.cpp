@@ -81,8 +81,9 @@ MpcKCutReport mpc_gn_k_cut(const WGraph& g, std::uint32_t k,
   std::mutex mu;
   std::uint64_t iter_rounds = 0;
   std::uint32_t calls_this_iter = 0;
-  auto flush = [&]() {
-    std::lock_guard<std::mutex> lock(mu);
+  // Caller must hold `mu` — like kcut_ampc.cpp, even the post-join
+  // "anything left?" check reads the counters under the lock.
+  auto flush_locked = [&]() {
     report.rounds += iter_rounds + 1;  // +1: component counting
     iter_rounds = 0;
     calls_this_iter = 0;
@@ -104,8 +105,15 @@ MpcKCutReport mpc_gn_k_cut(const WGraph& g, std::uint32_t k,
         }
         return MinCutResult{sub.weight, sub.side};
       },
-      [&](std::uint32_t) { flush(); }, pool);
-  if (calls_this_iter > 0) flush();
+      [&](std::uint32_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        flush_locked();
+      },
+      pool);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (calls_this_iter > 0) flush_locked();
+  }
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "bench_util.h"
 #include "support/bench_report.h"
 #include "support/json.h"
 
@@ -186,6 +187,46 @@ TEST(BenchJson, ValidatorRejectsSchemaViolations) {
 
   // Not an object at all.
   EXPECT_NE(bench::validate_bench_json(Value::array()), "");
+}
+
+// --- bench_util CLI parsing ------------------------------------------------
+// A flag given as the LAST argv token has no value; arg_value must return
+// nullptr instead of indexing past argv, and the callers must fail (or fall
+// back) loudly rather than misbehave.
+
+char** fake_argv(std::vector<const char*>& store) {
+  return const_cast<char**>(store.data());
+}
+
+TEST(BenchUtil, ArgValueReadsFlagValue) {
+  std::vector<const char*> argv{"prog", "--json", "out.json", "--threads",
+                                "3"};
+  const int argc = static_cast<int>(argv.size());
+  EXPECT_STREQ(bench::arg_value(argc, fake_argv(argv), "--json"), "out.json");
+  EXPECT_STREQ(bench::arg_value(argc, fake_argv(argv), "--threads"), "3");
+  EXPECT_EQ(bench::arg_value(argc, fake_argv(argv), "--absent"), nullptr);
+  EXPECT_EQ(bench::threads_of(argc, fake_argv(argv)), 3u);
+}
+
+TEST(BenchUtil, TrailingValuelessFlagYieldsNullNotOutOfBounds) {
+  for (const char* flag : {"--json", "--threads"}) {
+    std::vector<const char*> argv{"prog", "--smoke", flag};
+    const int argc = static_cast<int>(argv.size());
+    EXPECT_EQ(bench::arg_value(argc, fake_argv(argv), flag), nullptr) << flag;
+  }
+}
+
+TEST(BenchUtil, ThreadsOfFallsBackOnValuelessFlag) {
+  std::vector<const char*> argv{"prog", "--threads"};
+  EXPECT_EQ(bench::threads_of(2, fake_argv(argv)), 0u);
+}
+
+TEST(BenchUtil, FinishFailsOnValuelessJsonFlag) {
+  bench::BenchReporter rep("s");
+  std::vector<const char*> with_flag{"prog", "--json"};
+  EXPECT_EQ(bench::finish(2, fake_argv(with_flag), rep), 1);
+  std::vector<const char*> without{"prog", "--smoke"};
+  EXPECT_EQ(bench::finish(2, fake_argv(without), rep), 0);
 }
 
 }  // namespace

@@ -66,10 +66,20 @@ std::string sh_quote(const fs::path& p) {
   return out;
 }
 
+// Value of "--opt value", or `fallback` when absent. A flag given as the
+// last token (no value to read) is an argument error: exit loudly instead of
+// silently using the fallback — a typo'd invocation must not overwrite the
+// trajectory files with an unintended configuration.
 const char* arg_value(int argc, char** argv, const char* opt,
                       const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], opt) == 0) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], opt) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_benches: %s given without a value\n", opt);
+        std::exit(1);
+      }
+      return argv[i + 1];
+    }
   }
   return fallback;
 }
