@@ -19,7 +19,9 @@
 #include "exact/stoer_wagner.h"
 #include "graph/generators.h"
 #include "mincut/singleton.h"
+#include "support/psort.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 #include "tree/hld.h"
 
 using namespace ampccut;
@@ -236,6 +238,93 @@ void bench_path_max_query(Harness& h, std::uint64_t n) {
   h.record(std::move(r), n);
 }
 
+// Deterministic parallel sort/partition primitives (support/psort.h), the
+// host-side layer under the clock ranking / CSR grouping / interval sweeps.
+// ns_per_op is the shared-pool (hardware-thread) run; extra carries the
+// 1-thread sequential-fallback ns/op and the resulting speedup, so the
+// trajectory quotes 1-vs-N for every primitive. The sort needs a fresh
+// unsorted input every rep; that copy-in is measured separately and
+// subtracted from both paths, so the ratio prices the primitive alone
+// rather than being diluted toward 1 by a fixed sequential memcpy.
+void bench_psort_stable_sort(Harness& h, std::uint64_t n) {
+  Rng rng(11);
+  std::vector<std::uint64_t> base(n);
+  for (auto& v : base) v = rng.next_u64();
+  std::vector<std::uint64_t> work(n);
+  ThreadPool seq(1);
+  const auto less = [](std::uint64_t a, std::uint64_t b) { return a < b; };
+  const Timed copy = run_timed(n, h.topt, [&] { work = base; });
+  const Timed par = run_timed(n, h.topt, [&] {
+    work = base;
+    psort::stable_sort_keys(&ThreadPool::shared(), work, less);
+  });
+  const Timed one = run_timed(n, h.topt, [&] {
+    work = base;
+    psort::stable_sort_keys(&seq, work, less);
+  });
+  const double par_ns = std::max(1e-9, par.ns_per_op - copy.ns_per_op);
+  const double one_ns = std::max(1e-9, one.ns_per_op - copy.ns_per_op);
+  BenchResult r;
+  r.name = "psort_stable_sort";
+  r.group = "exact";
+  r.ns_per_op = par_ns;
+  r.iterations = par.iterations;
+  r.extra["t1_ns_per_op"] = one_ns;
+  r.extra["speedup_vs_t1"] = one_ns / par_ns;
+  h.record(std::move(r), n);
+}
+
+void bench_psort_radix_rank(Harness& h, std::uint64_t n) {
+  Rng rng(12);
+  const std::uint64_t num_keys = std::max<std::uint64_t>(1, n / 16);
+  std::vector<std::uint32_t> base(n);
+  for (auto& v : base) v = static_cast<std::uint32_t>(rng.next_below(num_keys));
+  std::vector<std::uint32_t> out(n);
+  ThreadPool seq(1);
+  const auto key_of = [](std::uint32_t v) {
+    return static_cast<std::size_t>(v);
+  };
+  const Timed par = run_timed(n, h.topt, [&] {
+    psort::radix_rank(&ThreadPool::shared(), base.data(), out.data(), n,
+                      num_keys, key_of);
+  });
+  const Timed one = run_timed(n, h.topt, [&] {
+    psort::radix_rank(&seq, base.data(), out.data(), n, num_keys, key_of);
+  });
+  BenchResult r;
+  r.name = "psort_radix_rank";
+  r.group = "exact";
+  r.ns_per_op = par.ns_per_op;
+  r.iterations = par.iterations;
+  r.extra["t1_ns_per_op"] = one.ns_per_op;
+  r.extra["speedup_vs_t1"] = one.ns_per_op / std::max(1e-9, par.ns_per_op);
+  h.record(std::move(r), n);
+}
+
+// The scan mutates in place, but its cost is value-independent (unsigned
+// adds), so timed reps just re-scan the evolving buffer — no copy-in to
+// pollute the per-op estimate.
+void bench_psort_exclusive_scan(Harness& h, std::uint64_t n) {
+  Rng rng(13);
+  std::vector<std::uint64_t> work(n);
+  for (auto& v : work) v = rng.next_below(1 << 10);
+  ThreadPool seq(1);
+  const Timed par = run_timed(n, h.topt, [&] {
+    (void)psort::exclusive_scan(&ThreadPool::shared(), work);
+  });
+  const Timed one = run_timed(n, h.topt, [&] {
+    (void)psort::exclusive_scan(&seq, work);
+  });
+  BenchResult r;
+  r.name = "psort_exclusive_scan";
+  r.group = "exact";
+  r.ns_per_op = par.ns_per_op;
+  r.iterations = par.iterations;
+  r.extra["t1_ns_per_op"] = one.ns_per_op;
+  r.extra["speedup_vs_t1"] = one.ns_per_op / std::max(1e-9, par.ns_per_op);
+  h.record(std::move(r), n);
+}
+
 template <class F>
 void bench_exact(Harness& h, const char* name, std::uint64_t n, F&& run) {
   BenchResult r;
@@ -274,6 +363,17 @@ int main(int argc, char** argv) {
                                    : std::vector<std::uint64_t>{1 << 8,
                                                                 1 << 12}) {
     bench_table_lease_reuse(h, n);
+  }
+
+  // Parallel sort/partition primitives, 1-vs-N-thread (the hot host-side
+  // layer after the psort migration — BENCHMARKS.md "psort microbenches").
+  for (const std::uint64_t n : mode == Mode::kSmoke
+                                   ? std::vector<std::uint64_t>{1 << 16}
+                                   : std::vector<std::uint64_t>{1 << 16,
+                                                                1 << 19}) {
+    bench_psort_stable_sort(h, n);
+    bench_psort_radix_rank(h, n);
+    bench_psort_exclusive_scan(h, n);
   }
 
   const bool smoke = mode == Mode::kSmoke;

@@ -6,6 +6,7 @@
 
 #include "ampc_algo/list_ranking.h"
 #include "support/check.h"
+#include "support/psort.h"
 
 namespace ampccut::ampc {
 
@@ -96,9 +97,15 @@ std::vector<EdgeId> ampc_msf_boruvka(Runtime& rt, const WGraph& g,
   for (EdgeId e = 0; e < g.edges.size(); ++e) {
     if (in_forest[e]) forest.push_back(e);
   }
-  std::sort(forest.begin(), forest.end(), [&](EdgeId a, EdgeId b) {
-    return order.time[a] < order.time[b];
-  });
+  // (time, id): generated orders have unique times, but hand-built orders
+  // may tie — the id tie-break keeps the forest order deterministic either
+  // way (same contract as contraction.cpp).
+  psort::stable_sort_keys(&ThreadPool::shared(), forest,
+                          [&](EdgeId a, EdgeId b) {
+                            return order.time[a] != order.time[b]
+                                       ? order.time[a] < order.time[b]
+                                       : a < b;
+                          });
   return forest;
 }
 

@@ -5,6 +5,7 @@
 
 #include "ampc_algo/list_ranking.h"
 #include "support/check.h"
+#include "support/psort.h"
 
 namespace ampccut::ampc {
 
@@ -40,11 +41,12 @@ AmpcRootedTree ampc_root_tree(Runtime& rt, VertexId n,
     const WEdge& e = edges[a / 2];
     return (a % 2 == 0) ? e.v : e.u;
   };
-  std::sort(arc_order.begin(), arc_order.end(),
-            [&](std::uint64_t a, std::uint64_t b) {
-              return std::make_pair(tail_of(a), a) <
-                     std::make_pair(tail_of(b), b);
-            });
+  // Stable by tail + ascending arc ids = the (tail, arc) order the old
+  // comparison sort produced.
+  psort::stable_sort_keys(&ThreadPool::shared(), arc_order,
+                          [&](std::uint64_t a, std::uint64_t b) {
+                            return tail_of(a) < tail_of(b);
+                          });
   std::vector<std::uint64_t> arc_pos(num_arcs);      // arc -> CSR slot
   std::vector<std::uint64_t> csr_arc(num_arcs);      // CSR slot -> arc
   std::vector<std::uint64_t> first_slot(n + 1, 0);
@@ -52,9 +54,11 @@ AmpcRootedTree ampc_root_tree(Runtime& rt, VertexId n,
     const std::uint64_t a = arc_order[s];
     arc_pos[a] = s;
     csr_arc[s] = a;
-    ++first_slot[tail_of(a) + 1];
+    ++first_slot[tail_of(a)];
   }
-  std::partial_sum(first_slot.begin(), first_slot.end(), first_slot.begin());
+  // Exclusive scan of per-tail degrees gives the CSR offsets; the trailing
+  // zero slot picks up the total, matching the old shifted partial_sum.
+  (void)psort::exclusive_scan(&ThreadPool::shared(), first_slot);
 
   auto t_arc_pos = rt.lease_dense<std::uint64_t>("euler.arc_pos", num_arcs);
   auto t_csr = rt.lease_dense<std::uint64_t>("euler.csr", num_arcs);

@@ -7,6 +7,7 @@
 
 #include "graph/union_find.h"
 #include "support/check.h"
+#include "support/psort.h"
 #include "support/rng.h"
 
 namespace ampccut {
@@ -33,8 +34,10 @@ ContractState contract_to(const ContractState& in, VertexId target, Rng& rng) {
   }
   std::vector<EdgeId> order(g.edges.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](EdgeId a, EdgeId b) { return clock[a] < clock[b]; });
+  // Stable + ascending ids = deterministic (clock, id) rank even in the
+  // measure-zero event of a clock collision.
+  psort::stable_sort_keys(&ThreadPool::shared(), order,
+                          [&](EdgeId a, EdgeId b) { return clock[a] < clock[b]; });
 
   UnionFind uf(g.n);
   VertexId remaining = g.n;
@@ -68,9 +71,12 @@ ContractState contract_to(const ContractState& in, VertexId target, Rng& rng) {
     if (a > b) std::swap(a, b);
     scratch.push_back({a, b, e.w});
   }
-  std::sort(scratch.begin(), scratch.end(), [](const WEdge& x, const WEdge& y) {
-    return std::tie(x.u, x.v) < std::tie(y.u, y.v);
-  });
+  // Parallel edges with equal (u, v) are summed below — order within a run
+  // cannot matter, and the stable sort keeps the run order deterministic.
+  psort::stable_sort_keys(&ThreadPool::shared(), scratch,
+                          [](const WEdge& x, const WEdge& y) {
+                            return std::tie(x.u, x.v) < std::tie(y.u, y.v);
+                          });
   for (const auto& e : scratch) {
     if (!out.g.edges.empty() && out.g.edges.back().u == e.u &&
         out.g.edges.back().v == e.v) {

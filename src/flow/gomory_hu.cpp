@@ -6,6 +6,7 @@
 #include "flow/dinic.h"
 #include "graph/union_find.h"
 #include "support/check.h"
+#include "support/psort.h"
 
 namespace ampccut {
 
@@ -78,9 +79,17 @@ GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k) {
   // component since tree edges are independent).
   std::vector<VertexId> order;
   for (VertexId v = 1; v < g.n; ++v) order.push_back(v);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return tree.parent_cut_weight[a] < tree.parent_cut_weight[b];
-  });
+  // (weight, id): equal cut weights are common (unweighted graphs), and
+  // without the id tie-break the removed edge set — and hence the partition —
+  // depended on the sort implementation's handling of ties.
+  psort::stable_sort_keys(&ThreadPool::shared(), order,
+                          [&](VertexId a, VertexId b) {
+                            return tree.parent_cut_weight[a] !=
+                                           tree.parent_cut_weight[b]
+                                       ? tree.parent_cut_weight[a] <
+                                             tree.parent_cut_weight[b]
+                                       : a < b;
+                          });
   std::vector<std::uint8_t> removed(g.n, 0);
   for (std::uint32_t i = 0; i + 1 < k; ++i) removed[order[i]] = 1;
 

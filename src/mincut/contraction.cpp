@@ -4,11 +4,13 @@
 #include <numeric>
 
 #include "support/check.h"
+#include "support/psort.h"
 #include "support/rng.h"
 
 namespace ampccut {
 
-ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed) {
+ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed,
+                                        ThreadPool* pool) {
   Rng rng(seed);
   const std::size_t m = g.edges.size();
   std::vector<double> clock(m);
@@ -17,10 +19,11 @@ ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed) {
   }
   std::vector<EdgeId> idx(m);
   std::iota(idx.begin(), idx.end(), 0);
-  std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
-    // Clocks are continuous so ties are measure-zero, but break them
-    // deterministically anyway.
-    return clock[a] != clock[b] ? clock[a] < clock[b] : a < b;
+  // Rank by (clock, id): clocks are continuous so ties are measure-zero, but
+  // the id tie-break is guaranteed anyway — the sort is stable and idx starts
+  // ascending, so equal clocks keep id order at every thread count.
+  psort::stable_sort_keys(pool, idx.data(), m, [&](EdgeId a, EdgeId b) {
+    return clock[a] < clock[b];
   });
   ContractionOrder order;
   order.time.assign(m, 0);
@@ -71,9 +74,12 @@ std::vector<EdgeId> msf_edges_by_time(const WGraph& g,
   } else {
     idx.resize(g.edges.size());
     std::iota(idx.begin(), idx.end(), 0);
-    std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
-      return order.time[a] < order.time[b];
-    });
+    // Stable + ascending ids = deterministic (time, id) even when a
+    // hand-built order reuses a time.
+    psort::stable_sort_keys(&ThreadPool::shared(), idx,
+                            [&](EdgeId a, EdgeId b) {
+                              return order.time[a] < order.time[b];
+                            });
     scan = idx.data();
   }
   std::vector<VertexId> parent(g.n), size(g.n, 1);

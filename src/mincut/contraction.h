@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "support/threadpool.h"
 
 namespace ampccut {
 
@@ -34,8 +35,12 @@ struct ContractionOrder {
 };
 
 // Weighted Karger order via exponential clocks (uniform order when all
-// weights are equal).
-ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed);
+// weights are equal). The clock ranking runs on `pool` via
+// psort::stable_sort_keys — bit-identical for every pool and thread count
+// (DESIGN.md "Parallel sort & counting primitives"); tests pass dedicated
+// pools to pin that contract.
+ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed,
+                                        ThreadPool* pool = &ThreadPool::shared());
 
 // Kruskal by time. Returns edge ids of the minimum spanning forest, in
 // increasing time order. Linear over order.perm when present; sorts only for

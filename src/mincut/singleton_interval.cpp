@@ -17,6 +17,7 @@
 #include "graph/union_find.h"
 #include "mincut/singleton.h"
 #include "support/check.h"
+#include "support/psort.h"
 #include "support/threadpool.h"
 #include "tree/low_depth.h"
 
@@ -218,29 +219,27 @@ SingletonCutResult min_singleton_cut_interval(const WGraph& g,
 
     // Group events by leader with time order inside each group: stable
     // counting sort by t (values are bounded by t_full + 1), then stable
-    // counting sort by leader. The sweep only needs per-leader time order,
-    // so this is equivalent to the old per-leader comparison sorts.
+    // counting sort by leader, both via psort::radix_rank — parallel on the
+    // same pool the levels fan out on (nested parallel_for is part of the
+    // pool contract), bit-identical to the old sequential passes. The sweep
+    // only needs per-leader time order, so this is equivalent to the old
+    // per-leader comparison sorts; the second pass's group offsets are
+    // exactly the per-leader event ranges.
+    ThreadPool* sort_pool = parallel ? &ThreadPool::shared() : nullptr;
     std::vector<Event> sorted(events.size());
-    {
-      std::vector<std::uint32_t> tcount(t_full + 3, 0);
-      for (const Event& e : events) ++tcount[e.t + 1];
-      for (std::size_t t = 0; t + 1 < tcount.size(); ++t) {
-        tcount[t + 1] += tcount[t];
-      }
-      for (const Event& e : events) sorted[tcount[e.t]++] = e;
-    }
-    std::vector<std::uint32_t> loffset(g.n + 1, 0);
-    {
-      for (const Event& e : sorted) ++loffset[e.leader + 1];
-      for (VertexId v = 0; v < g.n; ++v) loffset[v + 1] += loffset[v];
-      std::vector<std::uint32_t> cursor(loffset.begin(), loffset.end() - 1);
-      for (const Event& e : sorted) events[cursor[e.leader]++] = e;
-    }
+    psort::radix_rank(sort_pool, events.data(), sorted.data(), events.size(),
+                      t_full + 2,
+                      [](const Event& e) { return static_cast<std::size_t>(e.t); });
+    std::vector<std::size_t> loffset;
+    psort::radix_rank(sort_pool, sorted.data(), events.data(), events.size(),
+                      g.n,
+                      [](const Event& e) { return static_cast<std::size_t>(e.leader); },
+                      &loffset);
 
     // Sweep per leader (Lemma 14).
     for (const VertexId v : decomp.levels[i]) {
-      const std::uint32_t begin = loffset[v];
-      const std::uint32_t count = loffset[v + 1] - begin;
+      const std::size_t begin = loffset[v];
+      const std::size_t count = loffset[v + 1] - begin;
       out.words += 2 * count;
       TimeStep argmin = 0;
       const Weight w =

@@ -5,6 +5,7 @@
 #include "graph/union_find.h"
 #include "mincut/singleton.h"
 #include "support/check.h"
+#include "support/psort.h"
 
 namespace ampccut {
 
@@ -65,12 +66,15 @@ SingletonCutResult min_singleton_cut_oracle(const WGraph& g,
 
   std::vector<EdgeId> idx;
   if (order.perm.size() != order.time.size()) {
-    // Hand-built order without a permutation: sort once, as before.
+    // Hand-built order without a permutation: sort once, as before. Stable
+    // + ascending ids = deterministic (time, id) even when a hand-built
+    // order reuses a time.
     idx.resize(g.edges.size());
     std::iota(idx.begin(), idx.end(), 0);
-    std::sort(idx.begin(), idx.end(), [&](EdgeId a, EdgeId b) {
-      return order.time[a] < order.time[b];
-    });
+    psort::stable_sort_keys(&ThreadPool::shared(), idx,
+                            [&](EdgeId a, EdgeId b) {
+                              return order.time[a] < order.time[b];
+                            });
   }
   for (const EdgeId e : idx.empty() ? order.perm : idx) {
     VertexId a = uf.find(g.edges[e].u);

@@ -5,6 +5,7 @@
 
 #include "support/bits.h"
 #include "support/check.h"
+#include "support/psort.h"
 
 namespace ampccut::mpc {
 
@@ -216,9 +217,15 @@ std::vector<EdgeId> mpc_msf_boruvka(Runtime& rt, const WGraph& g,
   for (EdgeId e = 0; e < g.edges.size(); ++e) {
     if (in_forest[e]) forest.push_back(e);
   }
-  std::sort(forest.begin(), forest.end(), [&](EdgeId a, EdgeId b) {
-    return order.time[a] < order.time[b];
-  });
+  // (time, id): generated orders have unique times, but hand-built orders
+  // may tie — the id tie-break keeps the forest order deterministic either
+  // way (same contract as contraction.cpp).
+  psort::stable_sort_keys(&ThreadPool::shared(), forest,
+                          [&](EdgeId a, EdgeId b) {
+                            return order.time[a] != order.time[b]
+                                       ? order.time[a] < order.time[b]
+                                       : a < b;
+                          });
   return forest;
 }
 

@@ -1,0 +1,35 @@
+#include "support/psort.h"
+
+namespace ampccut::psort {
+
+namespace {
+
+// Minimum elements per block: below this, a block is too small for the
+// per-task overhead to pay for itself.
+constexpr std::size_t kGrain = 1 << 12;
+
+// Cap on the block count. 64 blocks keep every pool width the containers
+// target busy through the merge tree while bounding the slice bookkeeping;
+// raising it changes no result (determinism is by fixed splits + stability),
+// only constants.
+constexpr std::size_t kMaxBlocks = 64;
+
+}  // namespace
+
+std::size_t plan_blocks(std::size_t n) {
+  std::size_t blocks = 1;
+  while (blocks < kMaxBlocks && blocks * kGrain < n) blocks <<= 1;
+  return blocks;
+}
+
+std::size_t plan_radix_blocks(std::size_t n, std::size_t num_keys) {
+  if (n < kSeqCutoff) return 1;
+  std::size_t blocks = plan_blocks(n);
+  // The histogram matrix is blocks x num_keys words; keep it within a small
+  // constant of the O(n) payload so wide key spaces (num_keys ~ n) do not
+  // blow up scratch memory. Pure function of (n, num_keys).
+  while (blocks > 1 && blocks * num_keys > 4 * n) blocks >>= 1;
+  return blocks;
+}
+
+}  // namespace ampccut::psort

@@ -17,6 +17,8 @@
 #include "exact/karger.h"
 #include "graph/generators.h"
 #include "mincut/contraction.h"
+#include "support/psort.h"
+#include "support/threadpool.h"
 
 namespace ampccut {
 namespace {
@@ -92,6 +94,75 @@ TEST(Determinism, AmpcMinCutSameSeedSameResult) {
     EXPECT_EQ(a.side, b.side) << "seed " << seed;
     EXPECT_EQ(a.measured_rounds, b.measured_rounds) << "seed " << seed;
     EXPECT_EQ(a.charged_rounds, b.charged_rounds) << "seed " << seed;
+  }
+}
+
+// The clock ranking in make_contraction_order runs on psort's parallel
+// stable sort; ContractionOrder::{perm,time} must be bit-identical at every
+// thread count. The big graph (m ~ 10k > psort::kSeqCutoff) actually takes
+// the parallel path; the small one pins the sequential-fallback agreement.
+TEST(Determinism, ContractionOrderBitIdenticalAcrossThreadCounts) {
+  for (const VertexId n : {VertexId{40}, VertexId{200}}) {
+    const WGraph g = gen_erdos_renyi(n, 0.5, n + 17);
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      ThreadPool seq(1);
+      const ContractionOrder ref = make_contraction_order(g, seed, &seq);
+      ASSERT_EQ(ref.perm.size(), g.edges.size());
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{3},
+                                        std::size_t{5}, std::size_t{0}}) {
+        ThreadPool pool(threads);
+        const ContractionOrder got = make_contraction_order(g, seed, &pool);
+        ASSERT_EQ(got.perm, ref.perm)
+            << "n=" << n << " seed=" << seed << " threads=" << threads;
+        ASSERT_EQ(got.time, ref.time)
+            << "n=" << n << " seed=" << seed << " threads=" << threads;
+      }
+      // The default pool (the shared one) agrees too.
+      const ContractionOrder shared_pool = make_contraction_order(g, seed);
+      ASSERT_EQ(shared_pool.perm, ref.perm);
+      ASSERT_EQ(shared_pool.time, ref.time);
+    }
+  }
+}
+
+// Seed-corpus regression: pinned FNV-1a digests of ContractionOrder::perm
+// for fixed (graph, seed) pairs. A future sort/primitive change that
+// silently perturbs the rank order — while still producing a validly
+// sorted permutation — fails HERE, loudly, instead of de-reproducing every
+// downstream experiment. If a change intentionally alters the order
+// (e.g. a new tie-break policy), re-pin these constants and say so in the
+// PR: that is an experiment-breaking change, not a refactor.
+std::uint64_t fnv1a_perm(const std::vector<EdgeId>& perm) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const EdgeId e : perm) {
+    // Fold the value, not its bytes, so the digest is endianness-portable.
+    h = (h ^ e) * 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+TEST(Determinism, ContractionOrderDigestCorpus) {
+  struct Pinned {
+    const char* name;
+    WGraph g;
+    std::uint64_t seed;
+    std::uint64_t digest;
+  };
+  WGraph weighted = gen_erdos_renyi(40, 0.4, 11);
+  randomize_weights(weighted, 9, 5);
+  const Pinned corpus[] = {
+      {"erdos_renyi(60,0.15,101) seed=1", gen_erdos_renyi(60, 0.15, 101), 1,
+       0xf360bf7e8ff5c9eeULL},
+      {"random_connected(80,200,7) seed=2", gen_random_connected(80, 200, 7),
+       2, 0x53cd4d8251e21fbfULL},
+      {"weighted erdos_renyi(40,0.4,11) seed=5", weighted, 5,
+       0xc26f97fb138378d1ULL},
+  };
+  for (const Pinned& p : corpus) {
+    const ContractionOrder o = make_contraction_order(p.g, p.seed);
+    EXPECT_EQ(fnv1a_perm(o.perm), p.digest)
+        << p.name << ": ContractionOrder::perm changed. If intentional, "
+        << "re-pin to 0x" << std::hex << fnv1a_perm(o.perm);
   }
 }
 

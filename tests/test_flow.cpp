@@ -107,5 +107,40 @@ TEST(GomoryHuKCut, ApproximationGuarantee) {
   }
 }
 
+TEST(GomoryHuKCut, EqualWeightTieBreakIsDeterministic) {
+  // Unweighted graphs tie parent_cut_weight constantly; the removal order is
+  // pinned to (weight, id). Repeated calls must agree bit-for-bit, and the
+  // partition must equal the one derived from an explicit (weight, id) sort
+  // — so a future sort change that handles ties differently fails here.
+  for (const std::uint64_t seed : {3ULL, 8ULL, 21ULL}) {
+    const WGraph g = gen_random_connected(18, 40, seed);  // all weights 1
+    for (std::uint32_t k = 2; k <= 5; ++k) {
+      const auto a = gomory_hu_k_cut(g, k);
+      const auto b = gomory_hu_k_cut(g, k);
+      ASSERT_EQ(a.part, b.part) << "seed " << seed << " k=" << k;
+      ASSERT_EQ(a.weight, b.weight);
+
+      const GomoryHuTree tree = build_gomory_hu(g);
+      std::vector<VertexId> order;
+      for (VertexId v = 1; v < g.n; ++v) order.push_back(v);
+      std::sort(order.begin(), order.end(), [&](VertexId x, VertexId y) {
+        return tree.parent_cut_weight[x] != tree.parent_cut_weight[y]
+                   ? tree.parent_cut_weight[x] < tree.parent_cut_weight[y]
+                   : x < y;
+      });
+      // The k-1 removed tree edges (the ones whose endpoints land in
+      // different parts) are exactly the (weight, id)-smallest — not merely
+      // a tie-equivalent set of the same total weight.
+      std::vector<VertexId> expect(order.begin(), order.begin() + (k - 1));
+      std::sort(expect.begin(), expect.end());
+      std::vector<VertexId> got;
+      for (VertexId v = 1; v < g.n; ++v) {
+        if (a.part[v] != a.part[tree.parent[v]]) got.push_back(v);
+      }
+      EXPECT_EQ(got, expect) << "seed " << seed << " k=" << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ampccut

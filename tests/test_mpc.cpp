@@ -96,6 +96,25 @@ TEST(MpcMsf, MatchesKruskal) {
   }
 }
 
+TEST(MpcMsf, TiedTimesForestOrderIsDeterministic) {
+  // Hand-built orders (perm left empty) may reuse times; the forest must
+  // come back in (time, id) order — the documented contraction.cpp
+  // tie-break — and identically on every run, not in whatever order an
+  // unstable sort left tied edges.
+  WGraph g;
+  g.n = 6;  // path: every edge is a forest edge
+  for (VertexId v = 0; v + 1 < g.n; ++v) g.add_edge(v, v + 1, 1);
+  ContractionOrder order;
+  order.time = {2, 1, 2, 1, 2};
+  Runtime rt_a(Config{}, 8);
+  const auto a = mpc_msf_boruvka(rt_a, g, order);
+  Runtime rt_b(Config{}, 8);
+  const auto b = mpc_msf_boruvka(rt_b, g, order);
+  const std::vector<EdgeId> expect = {1, 3, 0, 2, 4};  // time 1 ids, time 2 ids
+  EXPECT_EQ(a, expect);
+  EXPECT_EQ(b, expect);
+}
+
 TEST(GnBaseline, CutQualityMatchesSequential) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const WGraph g = gen_erdos_renyi(50, 0.15, seed + 21);
