@@ -47,6 +47,7 @@
 
 #include "support/bits.h"
 #include "support/check.h"
+#include "support/psort.h"
 #include "support/threadpool.h"
 
 namespace ampccut::ampc {
@@ -133,7 +134,11 @@ class DirtyBuffers {
   // before this). Returns the number of dirty buffers.
   std::size_t seal() {
     const std::size_t n = count_.load(std::memory_order_relaxed);
-    std::sort(slots_.begin(), slots_.begin() + n);
+    // Dirty-buffer lists are tiny (one slot per buffer that wrote this
+    // round), so the psort sequential fallback is the right engine; ids are
+    // unique (mark() runs once per buffer), so stable == unstable here.
+    psort::stable_sort_keys(nullptr, slots_.data(), n,
+                            std::less<std::uint32_t>{});
     return n;
   }
 

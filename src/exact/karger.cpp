@@ -36,8 +36,11 @@ ContractState contract_to(const ContractState& in, VertexId target, Rng& rng) {
   std::iota(order.begin(), order.end(), 0);
   // Stable + ascending ids = deterministic (clock, id) rank even in the
   // measure-zero event of a clock collision.
-  psort::stable_sort_keys(&ThreadPool::shared(), order,
-                          [&](EdgeId a, EdgeId b) { return clock[a] < clock[b]; });
+  psort::stable_sort_keys(
+      &ThreadPool::shared(), order,
+      // repro-lint: allow(comparator-tiebreak) stable sort over the ascending
+      // id vector supplies the (clock, id) tie-break
+      [&](EdgeId a, EdgeId b) { return clock[a] < clock[b]; });
 
   UnionFind uf(g.n);
   VertexId remaining = g.n;

@@ -22,6 +22,8 @@ ContractionOrder make_contraction_order(const WGraph& g, std::uint64_t seed,
   // Rank by (clock, id): clocks are continuous so ties are measure-zero, but
   // the id tie-break is guaranteed anyway — the sort is stable and idx starts
   // ascending, so equal clocks keep id order at every thread count.
+  // repro-lint: allow(comparator-tiebreak) stable sort over the ascending
+  // idx vector supplies the (clock, id) tie-break
   psort::stable_sort_keys(pool, idx.data(), m, [&](EdgeId a, EdgeId b) {
     return clock[a] < clock[b];
   });
@@ -77,6 +79,8 @@ std::vector<EdgeId> msf_edges_by_time(const WGraph& g,
     // Stable + ascending ids = deterministic (time, id) even when a
     // hand-built order reuses a time.
     psort::stable_sort_keys(&ThreadPool::shared(), idx,
+                            // repro-lint: allow(comparator-tiebreak) stable
+                            // sort + ascending idx give the (time, id) order
                             [&](EdgeId a, EdgeId b) {
                               return order.time[a] < order.time[b];
                             });

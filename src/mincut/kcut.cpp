@@ -6,6 +6,7 @@
 
 #include "exact/stoer_wagner.h"
 #include "support/check.h"
+#include "support/psort.h"
 #include "support/rng.h"
 #include "support/threadpool.h"
 
@@ -41,7 +42,9 @@ ApproxKCutResult apx_split_k_cut(
     }
     const auto labels = component_labels(residual);
     std::vector<VertexId> uniq(labels);
-    std::sort(uniq.begin(), uniq.end());
+    // Scalar self-order: stable == unstable, and the psort layer picks the
+    // sequential fallback on a null pool, so the uniq pass stays identical.
+    psort::stable_sort_keys(pool, uniq, std::less<VertexId>{});
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
     const auto num_comps = static_cast<std::uint32_t>(uniq.size());
 

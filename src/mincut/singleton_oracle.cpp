@@ -72,6 +72,8 @@ SingletonCutResult min_singleton_cut_oracle(const WGraph& g,
     idx.resize(g.edges.size());
     std::iota(idx.begin(), idx.end(), 0);
     psort::stable_sort_keys(&ThreadPool::shared(), idx,
+                            // repro-lint: allow(comparator-tiebreak) stable
+                            // sort + ascending idx give the (time, id) order
                             [&](EdgeId a, EdgeId b) {
                               return order.time[a] < order.time[b];
                             });
@@ -82,6 +84,8 @@ SingletonCutResult min_singleton_cut_oracle(const WGraph& g,
     if (a == b) continue;
     if (boundary[a].size() > boundary[b].size()) std::swap(a, b);
     // Move a's boundary into b: edges connecting a and b become internal.
+    // repro-lint: allow(iteration-order) each edge id toggles its own
+    // membership in boundary[b] exactly once; distinct ids commute
     for (const EdgeId be : boundary[a]) {
       auto it = boundary[b].find(be);
       if (it != boundary[b].end()) {

@@ -118,6 +118,8 @@ DecompositionStats decomposition_stats(const RootedTree& t,
       const VertexId inside = v_in ? v : p;
       ++boundary[uf.find(inside)];
     }
+    // repro-lint: allow(iteration-order) commutative max over the values;
+    // no order-dependent state
     for (const auto& [root, cnt] : boundary) {
       s.max_boundary_edges = std::max(s.max_boundary_edges, cnt);
     }

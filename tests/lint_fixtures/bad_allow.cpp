@@ -1,0 +1,6 @@
+// Malformed directives: unknown check, missing justification, missing close
+// paren, and a non-allow verb. Each is a bad-allow finding.
+int bad_one = 1;  // repro-lint: allow(made-up-check) this check does not exist
+int bad_two = 2;  // repro-lint: allow(raw-sort)
+int bad_three = 3;  // repro-lint: allow(raw-sort missing the close paren
+int bad_four = 4;  // repro-lint: suppress everything please

@@ -1,0 +1,10 @@
+// Allowlisted twin: the single-key comparator rides a stable sort, and the
+// justification says so.
+#include <vector>
+
+bool allowed_comparator(const std::vector<double>& clock) {
+  // repro-lint: allow(comparator-tiebreak) fixture: stable sort supplies
+  // the id tie-break
+  const auto by_clock = [&](int a, int b) { return clock[a] < clock[b]; };
+  return by_clock(0, 1);
+}

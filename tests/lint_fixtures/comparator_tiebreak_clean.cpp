@@ -1,0 +1,21 @@
+// Clean twin: composite keys, identity ordering, and explicit tie-breaks are
+// all fine.
+#include <tuple>
+#include <vector>
+
+struct Item {
+  int key;
+  int id;
+};
+
+bool tiebroken_orders(const std::vector<int>& rank) {
+  const auto by_pair = [](const Item& a, const Item& b) {
+    return std::tie(a.key, a.id) < std::tie(b.key, b.id);
+  };
+  const auto by_value = [](int a, int b) { return a < b; };
+  const auto by_rank_then_id = [&](int a, int b) {
+    return rank[a] != rank[b] ? rank[a] < rank[b] : a < b;
+  };
+  return by_pair(Item{0, 1}, Item{0, 2}) && by_value(0, 1) &&
+         by_rank_then_id(0, 1);
+}

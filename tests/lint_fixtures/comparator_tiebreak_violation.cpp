@@ -1,0 +1,16 @@
+// Seeded violations for the comparator-tiebreak check: two-parameter lambdas
+// ordering by one projected key with no tie-break.
+#include <vector>
+
+struct Item {
+  int key;
+  int id;
+};
+
+bool single_key_orders(const std::vector<double>& clock) {
+  const auto by_key = [](const Item& a, const Item& b) {
+    return a.key < b.key;
+  };
+  const auto by_clock = [&](int a, int b) { return clock[a] < clock[b]; };
+  return by_key(Item{0, 0}, Item{1, 1}) && by_clock(0, 1);
+}

@@ -1,0 +1,7 @@
+// Allowlisted twin: an intentional mutation, justified. The real tree should
+// never need this; the fixture proves the escape hatch works.
+#include "support/check.h"
+
+void dcheck_allowed(int x) {
+  REPRO_DCHECK(++x > 0);  // repro-lint: allow(dcheck-side-effect) fixture: demonstrates the trap
+}

@@ -1,0 +1,11 @@
+// Clean twin: pure predicates — comparisons, negations, and const reads.
+#include <vector>
+
+#include "support/check.h"
+
+void dcheck_pure(int x, const std::vector<int>& v) {
+  REPRO_DCHECK(x > 0);
+  REPRO_DCHECK(x != 3);
+  REPRO_DCHECK(v.size() <= v.capacity());
+  REPRO_DCHECK(!v.empty() || x >= 0);
+}

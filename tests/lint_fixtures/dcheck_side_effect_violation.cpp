@@ -1,0 +1,11 @@
+// Seeded violations for the dcheck-side-effect check: mutations inside
+// REPRO_DCHECK silently vanish under NDEBUG.
+#include <vector>
+
+#include "support/check.h"
+
+void dcheck_mutations(int x, std::vector<int>& v) {
+  REPRO_DCHECK(++x > 0);
+  REPRO_DCHECK((x = 3) == 3);
+  REPRO_DCHECK(v.insert(v.end(), x) != v.end());
+}

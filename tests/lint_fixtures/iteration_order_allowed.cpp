@@ -1,0 +1,12 @@
+// Allowlisted twin: commutative accumulation over an unordered container,
+// with the commutativity argument in the justification.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int n = 0;
+  // repro-lint: allow(iteration-order) integer sum is commutative
+  for (const auto& [k, v] : table) {
+    n += v;
+  }
+  return n;
+}

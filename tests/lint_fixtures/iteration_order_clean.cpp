@@ -1,0 +1,19 @@
+// Clean twin: ordered containers and index loops are fine even when an
+// unordered container is declared in the same file.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int accumulate_sorted(const std::map<int, int>& table,
+                      const std::unordered_map<int, int>& hist) {
+  int n = 0;
+  for (const auto& [k, v] : table) {
+    n += v;
+  }
+  std::vector<int> keys;
+  keys.reserve(hist.size());
+  for (int k = 0; k < 10; ++k) {
+    n += k;
+  }
+  return n + static_cast<int>(keys.size());
+}

@@ -1,0 +1,16 @@
+// Seeded violations for the iteration-order check (enforced only for src/
+// paths): range-for over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+int accumulate_all(const std::unordered_map<int, int>& table,
+                   const std::unordered_set<int>& keys) {
+  int n = 0;
+  for (const auto& [k, v] : table) {
+    n += v + static_cast<int>(keys.count(k));
+  }
+  for (const int k : keys) {
+    n -= k;
+  }
+  return n;
+}

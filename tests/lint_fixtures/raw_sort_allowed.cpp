@@ -1,0 +1,10 @@
+// Allowlisted twin: the same raw sorts, suppressed once by a directive-only
+// line above and once by a trailing same-line directive.
+#include <algorithm>
+#include <vector>
+
+void allowed_sorts(std::vector<int>& v) {
+  // repro-lint: allow(raw-sort) fixture: differential reference sort
+  std::sort(v.begin(), v.end());
+  std::stable_sort(v.begin(), v.end());  // repro-lint: allow(raw-sort) fixture: trailing form
+}

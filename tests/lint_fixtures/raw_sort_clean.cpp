@@ -1,0 +1,13 @@
+// Clean twin: psort-layer calls and near-miss tokens must stay silent, as
+// must sort names that only appear inside comments.
+#include <algorithm>
+#include <vector>
+
+#include "support/psort.h"
+
+void sort_through_psort(ampccut::ThreadPool* pool, std::vector<int>& v) {
+  ampccut::psort::stable_sort_keys(pool, v, std::less<int>{});
+  const bool ok = std::is_sorted(v.begin(), v.end());
+  (void)ok;
+  // mentioning std::sort( in a comment must not count
+}

@@ -1,0 +1,13 @@
+// Seeded violations for the raw-sort check: every qualified std sort entry
+// point and C qsort outside the psort layer must be flagged.
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+void sort_everything(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  std::stable_sort(v.begin(), v.end());
+  std::partial_sort(v.begin(), v.begin() + 1, v.end());
+  std::ranges::sort(v);
+  qsort(v.data(), v.size(), sizeof(int), nullptr);
+}

@@ -1,0 +1,8 @@
+// Allowlisted twin: a deliberately retained std engine, justified.
+#include <random>
+
+unsigned roll_allowed() {
+  // repro-lint: allow(rng-discipline) fixture: engine kept for API parity
+  std::mt19937 gen(999);
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,14 @@
+// Clean twin: explicit-seed Rng, wall-clock timing without seeding, and
+// identifiers that merely contain banned substrings.
+#include <chrono>
+#include <cstdint>
+
+#include "support/rng.h"
+
+std::uint64_t roll_well(std::uint64_t seed) {
+  ampccut::Rng rng(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t operand = rng.next_u64();
+  (void)t0;
+  return operand;
+}

@@ -1,0 +1,11 @@
+// Seeded violations for the rng-discipline check: a std engine, a
+// time-derived seed, and C rand().
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned roll_badly() {
+  std::mt19937 gen(12345);
+  unsigned seed = static_cast<unsigned>(time(nullptr));
+  return static_cast<unsigned>(gen()) + seed + static_cast<unsigned>(rand());
+}

@@ -1,0 +1,5 @@
+// Well-formed directives that suppress nothing must be reported so the
+// allowlist can never silently rot.
+int plain = 0;  // repro-lint: allow(raw-sort) nothing on this line sorts
+
+// repro-lint: allow(rng-discipline) dangling: no code follows

@@ -1,0 +1,79 @@
+// Release/Debug behavior parity for the check macros (DESIGN.md "Static
+// analysis & invariant enforcement", dcheck-side-effect).
+//
+// REPRO_DCHECK compiles its argument out under NDEBUG via the sizeof trick,
+// so a side-effecting argument silently changes behavior between build
+// types. The repro_lint dcheck-side-effect check bans that pattern; this
+// suite pins the two facts the ban rests on:
+//   1. the macro evaluates its argument exactly once in Debug and never in
+//      Release (demonstrated on a synthetic counting site — the one
+//      deliberate violation in the tree, allowlisted as such);
+//   2. code written the approved way — mutation hoisted out of the macro —
+//      computes bit-identical results in both build types, so this suite
+//      passing in the Release and Debug CI legs IS the parity regression.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/check.h"
+
+namespace ampccut {
+namespace {
+
+TEST(CheckMacros, DcheckEvaluationCountMatchesBuildType) {
+  int calls = 0;
+  // repro-lint: allow(dcheck-side-effect) synthetic site: this test exists
+  // to demonstrate the NDEBUG trap the check bans
+  REPRO_DCHECK(++calls > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(calls, 0) << "Release must not evaluate the DCHECK argument";
+#else
+  EXPECT_EQ(calls, 1) << "Debug must evaluate the DCHECK argument once";
+#endif
+}
+
+// The approved rewrite of the site above: hoist the mutation, then assert on
+// the already-computed value. The sequence below must be identical whether
+// the assertion evaluates (Debug) or not (Release).
+TEST(CheckMacros, HoistedSideEffectsGiveBuildTypeParity) {
+  std::vector<std::uint64_t> trace;
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    const std::uint64_t next = acc + i * i;  // hoisted: runs in every build
+    REPRO_DCHECK(next > acc);
+    acc = next;
+    trace.push_back(acc);
+  }
+  // Closed form sum of squares 1..64 — a Release build that skipped the
+  // hoisted work (or a Debug build that did it twice) could not land here.
+  EXPECT_EQ(acc, 64u * 65u * 129u / 6u);
+  ASSERT_EQ(trace.size(), 64u);
+  EXPECT_EQ(trace.front(), 1u);
+  EXPECT_EQ(trace.back(), acc);
+}
+
+TEST(CheckMacros, ReproCheckEvaluatesExactlyOnceInEveryBuild) {
+  int calls = 0;
+  REPRO_CHECK(++calls > 0);
+  EXPECT_EQ(calls, 1);
+  REPRO_CHECK_MSG(++calls == 2, "second evaluation");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CheckMacros, ReproCheckThrowsWithLocationOnFailure) {
+  EXPECT_THROW(REPRO_CHECK(1 + 1 == 3), std::logic_error);
+  try {
+    REPRO_CHECK_MSG(false, "context message");
+    FAIL() << "unreachable";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("test_check_macros.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ampccut

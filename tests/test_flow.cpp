@@ -123,6 +123,8 @@ TEST(GomoryHuKCut, EqualWeightTieBreakIsDeterministic) {
       const GomoryHuTree tree = build_gomory_hu(g);
       std::vector<VertexId> order;
       for (VertexId v = 1; v < g.n; ++v) order.push_back(v);
+      // repro-lint: allow(raw-sort) tiny n=18 oracle ranking inside the test,
+      // with an explicit id tie-break — not a measured or parallel path
       std::sort(order.begin(), order.end(), [&](VertexId x, VertexId y) {
         return tree.parent_cut_weight[x] != tree.parent_cut_weight[y]
                    ? tree.parent_cut_weight[x] < tree.parent_cut_weight[y]
@@ -132,6 +134,8 @@ TEST(GomoryHuKCut, EqualWeightTieBreakIsDeterministic) {
       // different parts) are exactly the (weight, id)-smallest — not merely
       // a tie-equivalent set of the same total weight.
       std::vector<VertexId> expect(order.begin(), order.begin() + (k - 1));
+      // repro-lint: allow(raw-sort) canonicalizes k-1 distinct vertex ids
+      // for comparison; self-order needs no tie-break
       std::sort(expect.begin(), expect.end());
       std::vector<VertexId> got;
       for (VertexId v = 1; v < g.n; ++v) {

@@ -81,6 +81,8 @@ INSTANTIATE_TEST_SUITE_P(Threads, PSortP,
                          });
 
 TEST_P(PSortP, StableSortBitIdenticalToStdStableSort) {
+  // repro-lint: allow(comparator-tiebreak) the single-key comparator is the
+  // point: items carry their index so equality pins stable tie preservation
   const auto by_key = [](const Item& a, const Item& b) {
     return a.key < b.key;
   };
@@ -89,6 +91,8 @@ TEST_P(PSortP, StableSortBitIdenticalToStdStableSort) {
       Rng rng(std::hash<std::string_view>{}(std::string_view(shape)) ^ n);
       std::vector<Item> expect = make_items(shape, n, rng);
       std::vector<Item> got = expect;
+      // repro-lint: allow(raw-sort) std::stable_sort IS the differential
+      // reference the psort contract is stated against
       std::stable_sort(expect.begin(), expect.end(), by_key);
       psort::stable_sort_keys(&pool_, got, by_key);
       ASSERT_EQ(got, expect) << shape << " n=" << n
@@ -120,6 +124,7 @@ TEST_P(PSortP, RadixRankBitIdenticalToSequential) {
         ASSERT_EQ(got_off, expect_off);
         // The sequential reference must itself be the stable sort by key.
         std::vector<Item> ref = in;
+        // repro-lint: allow(raw-sort) differential reference for radix_rank
         std::stable_sort(ref.begin(), ref.end(),
                          [&](const Item& a, const Item& b) {
                            return key_of(a) < key_of(b);
@@ -176,12 +181,15 @@ TEST_P(PSortP, FuzzRandomLengthsAndKeySpaces) {
       in[i] = {static_cast<std::uint32_t>(rng.next_below(num_keys)),
                static_cast<std::uint32_t>(i)};
     }
+    // repro-lint: allow(comparator-tiebreak) fuzz items carry their index;
+    // the single-key comparator exercises stable tie preservation
     const auto by_key = [](const Item& a, const Item& b) {
       return a.key < b.key;
     };
     // Sort.
     std::vector<Item> expect = in;
     std::vector<Item> got = in;
+    // repro-lint: allow(raw-sort) differential reference for the fuzz trials
     std::stable_sort(expect.begin(), expect.end(), by_key);
     psort::stable_sort_keys(&pool_, got, by_key);
     ASSERT_EQ(got, expect) << "trial " << trial;

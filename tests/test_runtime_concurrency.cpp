@@ -30,6 +30,8 @@ struct Outcome {
 std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_snapshot(
     const Table<std::uint64_t, std::uint64_t>& t) {
   auto snap = t.snapshot();
+  // repro-lint: allow(raw-sort) canonicalizes an unordered snapshot of
+  // distinct keys for comparison; pair self-order needs no tie-break
   std::sort(snap.begin(), snap.end());
   return snap;
 }

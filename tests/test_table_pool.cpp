@@ -121,6 +121,8 @@ Outcome run_workload(Runtime& rt, MakeTables&& make) {
 
   const auto sorted_snapshot = [](const auto& t) {
     auto snap = t->snapshot();
+    // repro-lint: allow(raw-sort) canonicalizes an unordered snapshot of
+    // distinct keys for comparison; pair self-order needs no tie-break
     std::sort(snap.begin(), snap.end());
     return snap;
   };

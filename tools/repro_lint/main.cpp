@@ -1,0 +1,91 @@
+// repro_lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   repro_lint [--root DIR] [--paths a,b,c] [--json OUT] [--quiet]
+//
+// Scans src/, tests/, bench/, examples/ under --root (default ".") and
+// prints findings as file:line: [check] message. --json writes the
+// repro-lint-v1 report (the CI artifact). --paths overrides the scan roots
+// (comma-separated, relative to --root).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "repro_lint/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--paths a,b,c] [--json OUT] "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= csv.size(); ++i) {
+    if (i == csv.size() || csv[i] == ',') {
+      if (i > start) out.push_back(csv.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_out;
+  std::vector<std::string> paths = ampccut::lint::default_subdirs();
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(a, "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(a, "--paths") == 0 && i + 1 < argc) {
+      paths = split_csv(argv[++i]);
+      if (paths.empty()) return usage(argv[0]);
+    } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  ampccut::lint::Report report;
+  std::string error;
+  if (!ampccut::lint::scan_tree(root, paths, report, &error)) {
+    std::fprintf(stderr, "repro_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    out << report.to_json().dump(2) << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "repro_lint: failed to write %s\n",
+                   json_out.c_str());
+      return 2;
+    }
+  }
+
+  if (!quiet) {
+    for (const auto& f : report.findings) {
+      std::fprintf(stderr, "%s:%d: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                   f.check.c_str(), f.message.c_str(), f.snippet.c_str());
+    }
+    std::fprintf(stderr,
+                 "repro_lint: %zu finding(s), %zu allowlisted, %d file(s) "
+                 "scanned\n",
+                 report.findings.size(), report.allowed.size(),
+                 report.files_scanned);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
