@@ -9,6 +9,7 @@
 #include "exact/brute_force.h"
 #include "flow/gomory_hu.h"
 #include "graph/generators.h"
+#include "kernel/kernel.h"
 
 using namespace ampccut;
 using namespace ampccut::bench;
@@ -95,7 +96,72 @@ int main(int argc, char** argv) {
     rep.add(std::move(r));
   }
   tb.print();
+
+  // E4k — kernelized APX-SPLIT on SPARSE community graphs (avg in-community
+  // degree ~3): every split's exact/recursive solve runs on the kernel of
+  // its component, compounding the reduction across the k-1 splits. The
+  // kernel is exact, so the kernelized sweep must report the same k-cut
+  // weight; divergence aborts the bench.
+  std::printf("\nE4k — kernelized APX-SPLIT (sparse communities, kernel off "
+              "vs on)\n\n");
+  TablePrinter tc({"k", "n", "kernel_n", "kernel_m", "w", "ms_off", "ms_on",
+                   "speedup"});
+  const VertexId kern_n = mode == Mode::kFull ? 2048 : 512;
+  const std::uint32_t kern_kmax = mode == Mode::kSmoke ? 3u : 4u;
+  for (std::uint32_t k = 2; k <= kern_kmax; ++k) {
+    const WGraph g =
+        gen_communities(kern_n, k, 1.0 * k / kern_n, 2, 91 + k);
+    ampc::AmpcMinCutOptions o;
+    o.recursion.seed = 5;
+    o.recursion.trials = 1;
+    o.recursion.threads = threads;
+    o.arena = &arena;
+    ampc::AmpcKCutReport off;
+    const double ns_off =
+        time_once_ns([&] { off = ampc::ampc_apx_split_k_cut(g, k, o); });
+    o.recursion.kernel = kernel::enabled_defaults();
+    ampc::AmpcKCutReport on;
+    const double ns_on =
+        time_once_ns([&] { on = ampc::ampc_apx_split_k_cut(g, k, o); });
+    if (on.result.weight != off.result.weight) {
+      std::printf("FATAL: kernelized k-cut weight %llu != unkernelized %llu "
+                  "at k=%u\n",
+                  static_cast<unsigned long long>(on.result.weight),
+                  static_cast<unsigned long long>(off.result.weight), k);
+      return 1;
+    }
+
+    const kernel::KernelResult kk =
+        kernel::kernelize(g, kernel::enabled_defaults());
+    const double speedup = ns_off / std::max(1.0, ns_on);
+    tc.add_row({fmt_u(k), fmt_u(g.n), fmt_u(kk.stats.kernel_n),
+                fmt_u(kk.stats.kernel_m), fmt_u(on.result.weight),
+                fmt(ns_off / 1e6, 1), fmt(ns_on / 1e6, 1), fmt(speedup)});
+
+    BenchResult r;
+    r.name = "ampc_apx_split_k_cut_kernelized";
+    r.params["k"] = k;
+    r.params["n"] = g.n;
+    r.ns_per_op = ns_on;
+    r.iterations = 1;
+    r.measured_rounds = on.measured_rounds;
+    r.charged_rounds = on.charged_rounds;
+    r.model_rounds = on.model_rounds();
+    r.extra["weight"] = static_cast<double>(on.result.weight);
+    r.extra["kernel_n"] = static_cast<double>(kk.stats.kernel_n);
+    r.extra["kernel_m"] = static_cast<double>(kk.stats.kernel_m);
+    r.extra["n_reduction_ratio"] =
+        static_cast<double>(kk.stats.kernel_n) / static_cast<double>(g.n);
+    r.extra["m_reduction_ratio"] =
+        static_cast<double>(kk.stats.kernel_m) / static_cast<double>(g.m());
+    r.extra["ns_base"] = ns_off;
+    r.extra["speedup_vs_unkernelized"] = speedup;
+    rep.add(std::move(r));
+  }
+  tc.print();
   std::printf("\nShape check: ratios <= 4+eps (usually ~1); rounds grow "
-              "linearly in k (Theorem 2's O(k loglog n)).\n");
+              "linearly in k (Theorem 2's O(k loglog n)).\nE4k: the kernel "
+              "shrinks sparse communities and the kernelized sweep reports "
+              "the identical weight.\n");
   return finish(argc, argv, rep);
 }

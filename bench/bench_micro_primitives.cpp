@@ -19,6 +19,7 @@
 #include "exact/karger.h"
 #include "exact/stoer_wagner.h"
 #include "graph/generators.h"
+#include "kernel/kernel.h"
 #include "mincut/singleton.h"
 #include "support/psort.h"
 #include "support/rng.h"
@@ -335,6 +336,32 @@ void bench_psort_exclusive_scan(Harness& h, std::uint64_t n) {
   h.record(std::move(r), n);
 }
 
+// Kernelization pass (src/kernel): one op is a full kernelize() of a sparse
+// connected graph (avg degree 3, the regime where the peel cascades bite),
+// normalized per vertex. extras record the kernel size and reduction ratios
+// so the trajectory tracks reduction STRENGTH alongside speed — a rule
+// regression that leaves the kernel big shows up here even if it gets faster.
+void bench_kernelize(Harness& h, std::uint64_t n) {
+  WGraph g = gen_random_connected(static_cast<VertexId>(n), (3 * n) / 2, 21);
+  randomize_weights(g, 7, 22);
+  const kernel::KernelOptions opt = kernel::enabled_defaults();
+  BenchResult r;
+  r.name = "kernelize_sparse";
+  r.group = "exact";
+  const Timed timed = run_timed(n, h.topt, [&] { (void)kernel::kernelize(g, opt); });
+  r.ns_per_op = timed.ns_per_op;
+  r.iterations = timed.iterations;
+  const kernel::KernelResult kr = kernel::kernelize(g, opt);
+  r.extra["kernel_n"] = static_cast<double>(kr.stats.kernel_n);
+  r.extra["kernel_m"] = static_cast<double>(kr.stats.kernel_m);
+  r.extra["n_reduction_ratio"] =
+      static_cast<double>(kr.stats.kernel_n) / static_cast<double>(g.n);
+  r.extra["m_reduction_ratio"] =
+      static_cast<double>(kr.stats.kernel_m) / static_cast<double>(g.m());
+  r.extra["passes"] = static_cast<double>(kr.stats.passes);
+  h.record(std::move(r), n);
+}
+
 template <class F>
 void bench_exact(Harness& h, const char* name, std::uint64_t n, F&& run) {
   BenchResult r;
@@ -411,6 +438,12 @@ int main(int argc, char** argv) {
                 [&] { (void)min_singleton_cut_oracle(g, o); });
     bench_exact(h, "singleton_interval", n,
                 [&] { (void)min_singleton_cut_interval(g, o); });
+  }
+  // Kernelization pass on sparse graphs (BENCHMARKS.md "kernelization").
+  for (const std::uint64_t n : smoke ? std::vector<std::uint64_t>{1 << 12}
+                                     : std::vector<std::uint64_t>{1 << 12,
+                                                                  1 << 15}) {
+    bench_kernelize(h, n);
   }
   // n = 1024 costs seconds per rep for both engines; full sweeps only.
   for (const std::uint64_t n : mode == Mode::kFull

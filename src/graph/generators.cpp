@@ -105,6 +105,11 @@ WGraph gen_planted_cut(VertexId n, double p_in, VertexId bridge_edges,
   };
   blob(0, half);
   blob(half, n);
+  // The rejection loop below draws distinct cross pairs; asking for more
+  // than exist would spin forever.
+  REPRO_CHECK_MSG(static_cast<std::uint64_t>(bridge_edges) <=
+                      static_cast<std::uint64_t>(half) * (n - half),
+                  "bridge_edges exceeds the number of cross pairs");
   std::set<std::pair<VertexId, VertexId>> bridges;
   while (bridges.size() < bridge_edges) {
     const auto u = static_cast<VertexId>(rng.next_below(half));
@@ -118,6 +123,11 @@ WGraph gen_communities(VertexId n, VertexId k, double p_in,
                        VertexId bridge_edges, std::uint64_t seed) {
   REPRO_CHECK(k >= 2 && n >= 2 * k);
   const VertexId size = n / k;
+  // Same termination concern as gen_planted_cut: each ring link draws
+  // distinct pairs from a size*size pool.
+  REPRO_CHECK_MSG(static_cast<std::uint64_t>(bridge_edges) <=
+                      static_cast<std::uint64_t>(size) * size,
+                  "bridge_edges exceeds the number of cross pairs");
   Rng rng(seed);
   WGraph g;
   g.n = size * k;

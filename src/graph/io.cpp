@@ -1,11 +1,45 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "support/check.h"
 
 namespace ampccut {
+
+namespace {
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream ls(line);
+  std::string t;
+  while (ls >> t) toks.push_back(t);
+  return toks;
+}
+
+// Strict decimal parse: digits only (no sign, no base prefix, no trailing
+// junk) and value <= max. istream's operator>> silently wraps negative
+// input into unsigned types and saturates on overflow depending on the
+// library — parsing the raw token closes both holes loudly.
+std::uint64_t parse_u64(const std::string& tok, std::uint64_t max,
+                        const char* what) {
+  REPRO_CHECK_MSG(!tok.empty(), std::string("empty ") + what + " token");
+  std::uint64_t value = 0;
+  for (const char c : tok) {
+    REPRO_CHECK_MSG(c >= '0' && c <= '9',
+                    std::string("non-numeric ") + what + " token: " + tok);
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    REPRO_CHECK_MSG(digit <= max && value <= (max - digit) / 10,
+                    std::string(what) + " out of range: " + tok);
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
 
 void write_edge_list(std::ostream& os, const WGraph& g) {
   os << g.n << ' ' << g.edges.size() << '\n';
@@ -17,26 +51,44 @@ void write_edge_list(std::ostream& os, const WGraph& g) {
 WGraph read_edge_list(std::istream& is) {
   WGraph g;
   std::string line;
-  std::size_t m = 0;
+  std::uint64_t m = 0;
   bool header_seen = false;
-  std::size_t edges_seen = 0;
+  std::uint64_t edges_seen = 0;
   while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+    const std::vector<std::string> toks = tokens_of(line);
+    if (toks.empty()) continue;  // whitespace-only line
     if (!header_seen) {
-      ls >> g.n >> m;
-      REPRO_CHECK_MSG(!ls.fail(), "malformed header line");
-      g.edges.reserve(m);
+      // A truncated ("3") or over-long ("3 5 7") header fails here rather
+      // than being half-consumed.
+      REPRO_CHECK_MSG(toks.size() == 2,
+                      "malformed header line (want \"n m\"): " + line);
+      g.n = static_cast<VertexId>(
+          parse_u64(toks[0], kInvalidVertex - 1, "vertex count"));
+      m = parse_u64(toks[1], kInvalidEdge - 1, "edge count");
+      // The count still gets verified line by line; cap the reservation so
+      // a huge header cannot allocate unboundedly before that.
+      g.edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(m, std::uint64_t{1} << 20)));
       header_seen = true;
       continue;
     }
-    VertexId u = 0, v = 0;
-    Weight w = 1;
-    ls >> u >> v;
-    REPRO_CHECK_MSG(!ls.fail(), "malformed edge line");
-    if (!(ls >> w)) w = 1;
-    g.add_edge(u, v, w);
+    REPRO_CHECK_MSG(toks.size() == 2 || toks.size() == 3,
+                    "malformed edge line (want \"u v [w]\"): " + line);
     ++edges_seen;
+    REPRO_CHECK_MSG(edges_seen <= m,
+                    "more edge lines than the header promised");
+    const auto u = static_cast<VertexId>(
+        parse_u64(toks[0], kInvalidVertex - 1, "endpoint"));
+    const auto v = static_cast<VertexId>(
+        parse_u64(toks[1], kInvalidVertex - 1, "endpoint"));
+    Weight w = 1;
+    if (toks.size() == 3) {
+      w = parse_u64(toks[2], kInfiniteWeight - 1, "weight");
+    }
+    // add_edge rejects out-of-range endpoints and self-loops loudly.
+    g.add_edge(u, v, w);
   }
   REPRO_CHECK_MSG(header_seen, "missing header line");
   REPRO_CHECK_MSG(edges_seen == m, "edge count does not match header");

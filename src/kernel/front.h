@@ -1,0 +1,28 @@
+// Kernelize-then-solve front-ends for the exact drivers. Each reduces the
+// input, solves the (smaller) kernel with the wrapped solver, and unpacks
+// the certificate through the lineage — exact whenever the wrapped solver
+// is. With opt.enabled == false they defer to the plain solver, so call
+// sites can thread one KernelOptions knob through unconditionally.
+//
+// The recursion drivers (mincut_recursive / kcut / AMPC / MPC) get the same
+// treatment through ApproxMinCutOptions::kernel rather than wrappers here.
+#pragma once
+
+#include <cstdint>
+
+#include "exact/stoer_wagner.h"
+#include "kernel/kernel.h"
+
+namespace ampccut::kernel {
+
+MinCutResult stoer_wagner_min_cut_kernelized(
+    const WGraph& g, const KernelOptions& opt = enabled_defaults());
+
+// Karger–Stein on the kernel; `trials` and `seed` as in karger_stein. Note
+// the kernel changes the contraction trajectory for a given seed — the
+// result is still an (exact-whp) min cut, just a possibly different witness.
+MinCutResult karger_stein_kernelized(
+    const WGraph& g, std::uint32_t trials, std::uint64_t seed,
+    const KernelOptions& opt = enabled_defaults());
+
+}  // namespace ampccut::kernel

@@ -1,0 +1,128 @@
+// Exact kernelization front-end (VieCut / Padberg–Rinaldi line; PAPERS.md:
+// Henzinger et al., "Practical Minimum Cut Algorithms").
+//
+// `kernelize` rewrites a WGraph into a smaller kernel whose min cut, combined
+// with a running upper-bound candidate cut discovered along the way, equals
+// the min cut of the original graph exactly:
+//
+//     mincut(G) == min(candidate_weight, mincut(kernel))
+//
+// and the candidate side / kernel-side cut both lift back to original vertex
+// sets through the `KernelMap` lineage. The rules (safety arguments in
+// DESIGN.md "Kernelization front-end"):
+//
+//  * connected-component splitting — a disconnected input has a zero cut
+//    along any component; the kernel is empty and the candidate is exact.
+//  * parallel-edge merging — identical endpoint pairs sum their weights.
+//  * degree-1 removal — a pendant vertex v with incident weight w yields the
+//    candidate cut ({v}, rest) of weight w; mincut(G) = min(w, mincut(G-v)).
+//  * degree-2 path contraction — v with neighbors a != b (weights w1, w2)
+//    yields candidate w1+w2 and is replaced by an edge (a, b, min(w1, w2));
+//    v's originals ride with the heavier-edge neighbor so lifted cut weights
+//    are exact. (a == b collapses to a plain removal with candidate w1+w2.)
+//  * certified heavy-edge contraction — with the running upper bound
+//    lambda = best candidate so far (seeded each pass by the minimum weighted
+//    degree), an edge (u, v) is contracted when no min cut can separate u
+//    from v: W_uv >= lambda, or W_uv >= wdeg(u) - W_uv (the singleton {u}
+//    would be no worse moved across), or the connectivity certificate
+//    W_uv + sum_t min(W_ut, W_vt) >= lambda (that many edge-disjoint u-v
+//    paths exist). Contractions are batched one-touch-per-pass with all
+//    conditions evaluated on the pass-start snapshot, so the batch is as
+//    safe as a sequence of single contractions.
+//
+// Every sort/scan the passes perform runs on the psort layer, so the kernel
+// (graph, lineage, stats — every byte) is identical at every thread count.
+// The control loop itself is sequential; the pool only accelerates the
+// sort/scan passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/stoer_wagner.h"
+#include "graph/graph.h"
+
+namespace ampccut {
+class ThreadPool;
+}
+
+namespace ampccut::kernel {
+
+struct KernelOptions {
+  // Master switch consulted by the integration points (the recursion
+  // drivers, the k-cut splitters, the exact front-ends). `kernelize` itself
+  // ignores it: calling kernelize means kernelizing.
+  bool enabled = false;
+  // Rule passes iterate until a fixed point or this many rounds.
+  std::uint32_t max_passes = 16;
+  // Per-rule toggles, mainly for tests that pin one rule in isolation.
+  bool merge_parallel_edges = true;
+  bool remove_low_degree = true;     // degree-0/1/2 rules
+  bool contract_heavy_edges = true;  // certified contraction rules
+};
+
+// The options benches and front-ends use when they opt in.
+inline KernelOptions enabled_defaults() {
+  KernelOptions o;
+  o.enabled = true;
+  return o;
+}
+
+struct KernelStats {
+  VertexId original_n = 0;
+  VertexId kernel_n = 0;
+  std::uint64_t original_m = 0;
+  std::uint64_t kernel_m = 0;
+  VertexId components = 1;  // > 1 means the split rule resolved the input
+  std::uint32_t passes = 0;
+  std::uint64_t merged_parallel = 0;    // edges removed by merging
+  std::uint64_t removed_degree_one = 0;
+  std::uint64_t removed_degree_two = 0;
+  std::uint64_t contracted_certified = 0;  // heavy-edge contractions
+
+  friend bool operator==(const KernelStats&, const KernelStats&) = default;
+};
+
+// Lineage from kernel back to the original graph. `kernel_of[v]` maps every
+// original vertex to its kernel supervertex (kInvalidVertex only when the
+// disconnected split resolved the input without building a kernel). The
+// candidate is the best exactness-certified cut the rules discovered:
+// `candidate_members` is one side, as original vertex ids, and its weight in
+// the ORIGINAL graph is exactly `candidate_weight`.
+struct KernelMap {
+  VertexId original_n = 0;
+  std::vector<VertexId> kernel_of;
+  Weight candidate_weight = kInfiniteWeight;
+  std::vector<VertexId> candidate_members;
+
+  // The candidate as a MinCutResult over original vertex ids. Requires a
+  // finite candidate.
+  [[nodiscard]] MinCutResult candidate_cut() const;
+
+  // Lifts a cut of the kernel back to the original graph and returns the
+  // better of it and the candidate (ties prefer the kernel cut). The lifted
+  // weight is exactly `kernel_cut.weight`; with an exact kernel_cut the
+  // result is the exact min cut of the original graph.
+  [[nodiscard]] MinCutResult unpack(const MinCutResult& kernel_cut) const;
+};
+
+struct KernelResult {
+  WGraph kernel;
+  KernelMap map;
+  KernelStats stats;
+
+  // Fewer than 2 kernel vertices: nothing left to cut, the candidate (when
+  // the original had n >= 2) IS the exact min cut.
+  [[nodiscard]] bool solved() const { return kernel.n < 2; }
+
+  // The final answer for a solved kernel. Requires solved(); the weight is
+  // kInfiniteWeight only when the original graph had n < 2.
+  [[nodiscard]] MinCutResult resolved_cut() const;
+};
+
+// Runs the reduction pipeline. The pool (nullable: sequential) only feeds
+// the psort primitives — output is bit-identical for every pool width.
+KernelResult kernelize(const WGraph& g, const KernelOptions& opt = {},
+                       ThreadPool* pool = nullptr);
+
+}  // namespace ampccut::kernel

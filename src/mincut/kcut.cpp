@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "exact/stoer_wagner.h"
+#include "kernel/front.h"
 #include "support/check.h"
 #include "support/psort.h"
 #include "support/rng.h"
@@ -164,12 +165,15 @@ ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
       nullptr, pool);
 }
 
-ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k) {
+ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k,
+                                       const kernel::KernelOptions& kopt) {
   std::unique_ptr<ThreadPool> owned;
   ThreadPool* pool = resolve_recursion_pool(0, owned);
   return apx_split_k_cut(
       g, k,
-      [](const WGraph& sub, std::uint64_t) { return stoer_wagner_min_cut(sub); },
+      [&kopt](const WGraph& sub, std::uint64_t) {
+        return kernel::stoer_wagner_min_cut_kernelized(sub, kopt);
+      },
       nullptr, pool);
 }
 

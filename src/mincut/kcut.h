@@ -59,7 +59,12 @@ ApproxKCutResult apx_split_k_cut(
 // per-component recursion shares it (threads == 1 is fully sequential).
 ApproxKCutResult apx_split_k_cut_approx(const WGraph& g, std::uint32_t k,
                                         const ApproxMinCutOptions& opt = {});
-// The Saran–Vazirani exact-splitter baseline ((2-2/k)-approximate).
-ApproxKCutResult apx_split_k_cut_exact(const WGraph& g, std::uint32_t k);
+// The Saran–Vazirani exact-splitter baseline ((2-2/k)-approximate). The
+// splitter is Stoer–Wagner behind the kernelization front-end: with
+// kopt.enabled each component is reduced before being solved (the default
+// options leave the front-end off, preserving the historical behavior).
+ApproxKCutResult apx_split_k_cut_exact(
+    const WGraph& g, std::uint32_t k,
+    const kernel::KernelOptions& kopt = {});
 
 }  // namespace ampccut

@@ -248,6 +248,25 @@ ApproxMinCutResult approx_min_cut_with_backend(const WGraph& g,
 
   std::unique_ptr<ThreadPool> owned;
   ThreadPool* pool = resolve_recursion_pool(opt.threads, owned);
+
+  // Exact kernelization front-end: reduce first, recurse on the kernel,
+  // unpack the witness through the lineage afterwards. The reduction runs
+  // its sorts on this call's resolved pool, so the kernel — like the
+  // recursion — is bit-identical at every thread count.
+  kernel::KernelResult kr;
+  if (opt.kernel.enabled) {
+    kr = kernel::kernelize(g, opt.kernel, pool);
+    if (kr.solved()) {
+      // The rules resolved the instance outright; the candidate is exact.
+      const MinCutResult r = kr.resolved_cut();
+      REPRO_CHECK(r.weight != kInfiniteWeight);
+      out.weight = r.weight;
+      out.side = r.side;
+      return out;
+    }
+  }
+  const WGraph& work = opt.kernel.enabled ? kr.kernel : g;
+
   Rng rng(opt.seed);
   Driver driver(opt, backend, pool);
   const std::uint32_t trials = std::max(1u, opt.trials);
@@ -257,9 +276,9 @@ ApproxMinCutResult approx_min_cut_with_backend(const WGraph& g,
     std::vector<InstanceResult> results(trials);
     ThreadPool::TaskGroup group(*pool);
     for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      group.run([&driver, &g, &results, &rng, trial] {
+      group.run([&driver, &work, &results, &rng, trial] {
         ContractionScratch scratch;
-        results[trial] = driver.run(g, 1.0, 0, rng.split(trial), scratch);
+        results[trial] = driver.run(work, 1.0, 0, rng.split(trial), scratch);
       });
     }
     group.wait();
@@ -271,13 +290,21 @@ ApproxMinCutResult approx_min_cut_with_backend(const WGraph& g,
   } else {
     ContractionScratch scratch;
     for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      const InstanceResult r = driver.run(g, 1.0, 0, rng.split(trial), scratch);
+      const InstanceResult r =
+          driver.run(work, 1.0, 0, rng.split(trial), scratch);
       if (r.weight < best.weight) best = r;
     }
   }
   REPRO_CHECK(best.weight != kInfiniteWeight);
-  out.weight = best.weight;
-  out.side = std::move(best.side);
+  if (opt.kernel.enabled) {
+    const MinCutResult lifted =
+        kr.map.unpack({best.weight, std::move(best.side)});
+    out.weight = lifted.weight;
+    out.side = lifted.side;
+  } else {
+    out.weight = best.weight;
+    out.side = std::move(best.side);
+  }
   out.stats = driver.stats_.snapshot();
   return out;
 }

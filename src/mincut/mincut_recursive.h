@@ -43,6 +43,7 @@
 
 #include "exact/stoer_wagner.h"
 #include "graph/graph.h"
+#include "kernel/kernel.h"
 #include "mincut/contraction.h"
 #include "mincut/singleton.h"
 
@@ -69,6 +70,14 @@ struct ApproxMinCutOptions {
   // 1 = the exact historical sequential execution path, N > 1 = a dedicated
   // N-thread pool for this call. Thread count never changes any result.
   std::uint32_t threads = 0;
+  // Exact kernelization front-end (src/kernel): when kernel.enabled, the
+  // input is reduced before the recursion runs and the kernel-side witness
+  // is unpacked through the lineage; a fully reduced input skips the
+  // recursion entirely. RecursionStats then describe the run on the KERNEL
+  // (a solved kernel reports zero stats). Off by default so existing results
+  // stay bit-identical. The AMPC/MPC drivers and the k-cut splitters embed
+  // these options, so the knob reaches every backend from here.
+  kernel::KernelOptions kernel;
 };
 
 struct RecursionStats {

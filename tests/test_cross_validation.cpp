@@ -18,11 +18,15 @@
 
 #include <cstdint>
 
+#include "ampc_algo/kcut_ampc.h"
 #include "ampc_algo/mincut_ampc.h"
 #include "exact/brute_force.h"
 #include "exact/karger.h"
 #include "exact/stoer_wagner.h"
 #include "graph/generators.h"
+#include "kernel/front.h"
+#include "mincut/kcut.h"
+#include "mpc/gn_baseline.h"
 
 namespace ampccut {
 namespace {
@@ -86,6 +90,143 @@ TEST(CrossValidation, KCutSolversAgreeOnSmallGraphs) {
     const auto bf = brute_force_min_cut(g);
     EXPECT_EQ(bf2.weight, bf.weight) << "case " << i;
     EXPECT_EQ(k_cut_weight(g, bf2.part), bf2.weight) << "case " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernelization differential layer: for every zoo instance and every
+// backend, kernelize -> solve -> unpack must return the same cut VALUE as
+// solving the original, and the reported side must cut exactly that much in
+// the original graph. Weighted, multigraph and disconnected variants ride
+// along; every kernelized backend also runs at thread counts 1 and 4 and
+// must produce bit-identical results.
+
+// Base zoo: the ISSUE's six families.
+WGraph kernel_zoo_base(std::uint64_t i) {
+  const std::uint64_t seed = i * 1319 + 29;
+  const VertexId n = 8 + static_cast<VertexId>(i % 8);  // 8..15
+  switch (i % 6) {
+    case 0:
+      return gen_erdos_renyi(n, 0.4, seed);
+    case 1:
+      return gen_planted_cut(n, 0.75, 1 + static_cast<VertexId>(i % 3), seed);
+    case 2:
+      return gen_communities(3 * n, 3, 0.7, 2, seed);
+    case 3:
+      return gen_barbell(n);
+    case 4:
+      return gen_random_tree(n, seed);
+    default:
+      return gen_grid(3, 1 + n / 3);
+  }
+}
+
+// Variant layer: 0 = as generated, 1 = random weights, 2 = multigraph
+// (first three edges duplicated), 3 = disconnected (a far triangle).
+WGraph kernel_zoo_case(std::uint64_t i) {
+  WGraph g = kernel_zoo_base(i);
+  const std::uint64_t seed = i * 1319 + 101;
+  switch (i % 4) {
+    case 1:
+      randomize_weights(g, 6, seed);
+      break;
+    case 2:
+      for (std::size_t e = 0; e < 3 && e < g.edges.size(); ++e) {
+        g.edges.push_back(g.edges[e]);
+      }
+      break;
+    case 3: {
+      const VertexId base = g.n;
+      g.n += 3;
+      g.add_edge(base, base + 1, 2);
+      g.add_edge(base + 1, base + 2, 2);
+      g.add_edge(base + 2, base, 2);
+      break;
+    }
+    default:
+      break;
+  }
+  return g;
+}
+
+TEST(CrossValidation, KernelizedMinCutAgreesOnAllBackends) {
+  for (std::uint64_t i = 0; i < 36; ++i) {
+    const WGraph g = kernel_zoo_case(i);
+    const Weight truth = stoer_wagner_min_cut(g).weight;
+
+    // Exact backend behind the front-end.
+    const MinCutResult sw = kernel::stoer_wagner_min_cut_kernelized(g);
+    EXPECT_EQ(sw.weight, truth) << "kernelized stoer_wagner, case " << i;
+    EXPECT_EQ(cut_weight(g, sw.side), sw.weight) << "case " << i;
+
+    // AMPC backend, kernel on vs off, thread counts 1 and 4.
+    ampc::AmpcMinCutOptions opt;
+    opt.recursion.seed = i;
+    opt.recursion.trials = 6;
+    opt.recursion.local_threshold = 4;
+    opt.recursion.threads = 1;
+    const auto off = ampc::ampc_approx_min_cut(g, opt);
+    opt.recursion.kernel = kernel::enabled_defaults();
+    const auto on1 = ampc::ampc_approx_min_cut(g, opt);
+    opt.recursion.threads = 4;
+    const auto on4 = ampc::ampc_approx_min_cut(g, opt);
+    EXPECT_EQ(off.weight, truth) << "ampc unkernelized, case " << i;
+    EXPECT_EQ(on1.weight, truth) << "ampc kernelized, case " << i;
+    EXPECT_EQ(cut_weight(g, on1.side), on1.weight) << "case " << i;
+    // Thread-count bit-identity of the kernelized pipeline.
+    EXPECT_EQ(on4.weight, on1.weight) << "case " << i;
+    EXPECT_EQ(on4.side, on1.side) << "case " << i;
+    EXPECT_EQ(on4.stats, on1.stats) << "case " << i;
+
+    // MPC backend.
+    mpc::MpcMinCutOptions mopt;
+    mopt.recursion = opt.recursion;
+    mopt.recursion.threads = 1;
+    const auto mp = mpc::mpc_gn_min_cut(g, mopt);
+    EXPECT_EQ(mp.weight, truth) << "mpc kernelized, case " << i;
+    EXPECT_EQ(cut_weight(g, mp.side), mp.weight) << "case " << i;
+  }
+}
+
+TEST(CrossValidation, KernelizedKCutAgreesOnAllBackends) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    // Connected cases only: the greedy split loop counts components.
+    const WGraph g = kernel_zoo_case((i % 3 == 2) ? i + 1 : i);
+    const auto k = static_cast<std::uint32_t>(2 + i % 2);
+
+    // Exact Saran–Vazirani splitter, kernel off vs on.
+    const ApproxKCutResult off = apx_split_k_cut_exact(g, k);
+    const ApproxKCutResult on =
+        apx_split_k_cut_exact(g, k, kernel::enabled_defaults());
+    EXPECT_EQ(on.weight, off.weight) << "exact k-cut, case " << i;
+    EXPECT_EQ(k_cut_weight(g, on.part), on.weight) << "case " << i;
+    EXPECT_GE(on.num_parts, k) << "case " << i;
+
+    // AMPC k-cut, kernel off vs on (per-component kernels compound through
+    // the shared RuntimeArena).
+    ampc::AmpcMinCutOptions aopt;
+    aopt.recursion.seed = i;
+    aopt.recursion.trials = 6;
+    aopt.recursion.local_threshold = 4;
+    aopt.recursion.threads = 1;
+    ampc::RuntimeArena arena;
+    aopt.arena = &arena;
+    const auto aoff = ampc::ampc_apx_split_k_cut(g, k, aopt);
+    aopt.recursion.kernel = kernel::enabled_defaults();
+    const auto aon = ampc::ampc_apx_split_k_cut(g, k, aopt);
+    EXPECT_EQ(aon.result.weight, aoff.result.weight)
+        << "ampc k-cut, case " << i;
+    EXPECT_EQ(k_cut_weight(g, aon.result.part), aon.result.weight)
+        << "case " << i;
+
+    // MPC k-cut.
+    mpc::MpcMinCutOptions mopt;
+    mopt.recursion = aopt.recursion;
+    const auto mon = mpc::mpc_gn_k_cut(g, k, mopt);
+    EXPECT_EQ(mon.result.weight, aoff.result.weight)
+        << "mpc k-cut, case " << i;
+    EXPECT_EQ(k_cut_weight(g, mon.result.part), mon.result.weight)
+        << "case " << i;
   }
 }
 

@@ -16,6 +16,7 @@
 #include "ampc_algo/singleton_ampc.h"
 #include "exact/karger.h"
 #include "graph/generators.h"
+#include "kernel/kernel.h"
 #include "mincut/contraction.h"
 #include "support/psort.h"
 #include "support/threadpool.h"
@@ -163,6 +164,42 @@ TEST(Determinism, ContractionOrderDigestCorpus) {
     EXPECT_EQ(fnv1a_perm(o.perm), p.digest)
         << p.name << ": ContractionOrder::perm changed. If intentional, "
         << "re-pin to 0x" << std::hex << fnv1a_perm(o.perm);
+  }
+}
+
+// The kernelization front-end (src/kernel) promises a bit-identical
+// KernelResult — graph, lineage, candidate, stats — at every thread count:
+// its control loop is sequential and every sort runs on psort. The sparse
+// graph reduces heavily (peel cascades, rebuilds), the dense one exercises
+// the certificate scan, and both have enough edges for psort's parallel
+// path. (test_kernel.cpp pins the same contract against pools 1/2/4; this
+// corpus adds the shared-pool width.)
+TEST(Determinism, KernelOutputBitIdenticalAcrossThreadCounts) {
+  std::vector<WGraph> graphs;
+  graphs.push_back(gen_random_connected(6000, 9000, 17));
+  randomize_weights(graphs.back(), 5, 18);
+  graphs.push_back(gen_erdos_renyi(200, 0.5, 19));
+
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const WGraph& g = graphs[gi];
+    const kernel::KernelResult ref =
+        kernel::kernelize(g, kernel::enabled_defaults(), nullptr);
+    for (const std::uint32_t threads : {1u, 2u, 4u, 0u}) {
+      ThreadPool owned(threads == 0 ? ThreadPool::shared().num_threads()
+                                    : threads);
+      const kernel::KernelResult kr =
+          kernel::kernelize(g, kernel::enabled_defaults(), &owned);
+      EXPECT_EQ(kr.kernel.edges, ref.kernel.edges)
+          << "graph " << gi << " threads " << threads;
+      EXPECT_EQ(kr.map.kernel_of, ref.map.kernel_of)
+          << "graph " << gi << " threads " << threads;
+      EXPECT_EQ(kr.map.candidate_weight, ref.map.candidate_weight)
+          << "graph " << gi << " threads " << threads;
+      EXPECT_EQ(kr.map.candidate_members, ref.map.candidate_members)
+          << "graph " << gi << " threads " << threads;
+      EXPECT_EQ(kr.stats, ref.stats)
+          << "graph " << gi << " threads " << threads;
+    }
   }
 }
 

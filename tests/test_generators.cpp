@@ -106,6 +106,95 @@ TEST(Generators, PreferentialAttachmentDegrees) {
   EXPECT_EQ(g.m(), 6u + 96u * 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate parameters: every out-of-contract call must throw loudly
+// (REPRO_CHECK), every in-contract corner case must produce a valid,
+// deterministic graph — never hang (the bridge rejection loops) or silently
+// emit garbage.
+
+TEST(Generators, DegenerateParametersThrow) {
+  EXPECT_THROW(gen_erdos_renyi(0, 0.5, 1), std::logic_error);
+  EXPECT_THROW(gen_random_connected(0, 0, 1), std::logic_error);
+  EXPECT_THROW(gen_random_connected(5, 3, 1), std::logic_error);   // m < n-1
+  EXPECT_THROW(gen_random_connected(5, 11, 1), std::logic_error);  // m > C(5,2)
+  EXPECT_THROW(gen_planted_cut(3, 0.5, 1, 1), std::logic_error);
+  EXPECT_THROW(gen_communities(10, 6, 0.5, 1, 1), std::logic_error);  // k > n/2
+  EXPECT_THROW(gen_communities(10, 1, 0.5, 1, 1), std::logic_error);  // k < 2
+  EXPECT_THROW(gen_barbell(3), std::logic_error);
+  EXPECT_THROW(gen_cycle(2), std::logic_error);
+  EXPECT_THROW(gen_two_cycles(5), std::logic_error);
+  EXPECT_THROW(gen_grid(0, 5), std::logic_error);
+  EXPECT_THROW(gen_grid(5, 0), std::logic_error);
+  EXPECT_THROW(gen_complete(1), std::logic_error);
+  EXPECT_THROW(gen_path(0), std::logic_error);
+  EXPECT_THROW(gen_star(0), std::logic_error);
+  EXPECT_THROW(gen_random_tree(0, 1), std::logic_error);
+  EXPECT_THROW(gen_caterpillar(0, 2), std::logic_error);
+  EXPECT_THROW(gen_broom(2), std::logic_error);
+  EXPECT_THROW(gen_binary_tree(0), std::logic_error);
+  EXPECT_THROW(gen_preferential_attachment(3, 3, 1), std::logic_error);
+  EXPECT_THROW(gen_preferential_attachment(5, 0, 1), std::logic_error);
+  WGraph g = gen_cycle(4);
+  EXPECT_THROW(randomize_weights(g, 0, 1), std::logic_error);
+}
+
+TEST(Generators, BridgeCountBeyondCrossPairsThrows) {
+  // n=4 planted cut has 2*2 = 4 possible cross pairs; 5 would loop forever
+  // without the guard. Same for communities with 5*5 pairs per ring link.
+  EXPECT_THROW(gen_planted_cut(4, 0.5, 5, 1), std::logic_error);
+  EXPECT_THROW(gen_communities(10, 2, 0.5, 26, 1), std::logic_error);
+  const WGraph full = gen_planted_cut(4, 0.0, 4, 1);
+  full.validate();
+  EXPECT_EQ(full.m(), 2u + 4u);  // two 2-paths plus every cross pair
+}
+
+TEST(Generators, ProbabilityExtremesAndTinyGraphs) {
+  // p = 0: force_connected leaves exactly the spanning path, otherwise empty.
+  const WGraph path_only = gen_erdos_renyi(12, 0.0, 3);
+  path_only.validate();
+  EXPECT_EQ(path_only.m(), 11u);
+  EXPECT_TRUE(is_connected(path_only));
+  EXPECT_EQ(gen_erdos_renyi(12, 0.0, 3, false).m(), 0u);
+  // p = 1: complete graph either way.
+  EXPECT_EQ(gen_erdos_renyi(8, 1.0, 3).m(), 28u);
+  EXPECT_EQ(gen_erdos_renyi(8, 1.0, 3, false).m(), 28u);
+  // Single-vertex graphs are legal and edgeless everywhere they're allowed.
+  for (const WGraph& g :
+       {gen_erdos_renyi(1, 0.5, 1), gen_random_connected(1, 0, 1), gen_path(1),
+        gen_star(1), gen_random_tree(1, 1), gen_binary_tree(1),
+        gen_grid(1, 1)}) {
+    g.validate();
+    EXPECT_EQ(g.n, 1u);
+    EXPECT_EQ(g.m(), 0u);
+  }
+}
+
+TEST(Generators, ZeroBridgesDisconnect) {
+  // bridge_edges = 0 is in contract and must cleanly produce the two (or k)
+  // components rather than hanging in the bridge loop.
+  const WGraph planted = gen_planted_cut(12, 0.6, 0, 5);
+  planted.validate();
+  EXPECT_EQ(count_components(planted), 2u);
+  const WGraph comm = gen_communities(20, 4, 0.6, 0, 5);
+  comm.validate();
+  EXPECT_EQ(count_components(comm), 4u);
+}
+
+TEST(Generators, DegenerateCasesAreDeterministic) {
+  auto edges_equal = [](const WGraph& a, const WGraph& b) {
+    ASSERT_EQ(a.n, b.n);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t i = 0; i < a.edges.size(); ++i)
+      EXPECT_EQ(a.edges[i], b.edges[i]);
+  };
+  edges_equal(gen_erdos_renyi(12, 0.0, 3), gen_erdos_renyi(12, 0.0, 3));
+  edges_equal(gen_erdos_renyi(8, 1.0, 4), gen_erdos_renyi(8, 1.0, 4));
+  edges_equal(gen_planted_cut(12, 0.6, 0, 5), gen_planted_cut(12, 0.6, 0, 5));
+  edges_equal(gen_communities(20, 4, 0.6, 0, 5),
+              gen_communities(20, 4, 0.6, 0, 5));
+  edges_equal(gen_random_connected(1, 0, 9), gen_random_connected(1, 0, 9));
+}
+
 TEST(Generators, RandomizeWeightsInRange) {
   WGraph g = gen_cycle(50);
   randomize_weights(g, 10, 4);

@@ -119,5 +119,79 @@ TEST(GraphIo, RejectsMalformed) {
   EXPECT_THROW(read_edge_list(wrong_count), std::logic_error);
 }
 
+// Every malformed-input failure path must be loud (REPRO_CHECK throws
+// std::logic_error) — never a silently wrapped or truncated value.
+TEST(GraphIo, RejectsTruncatedHeader) {
+  std::stringstream one_token("3\n");
+  EXPECT_THROW(read_edge_list(one_token), std::logic_error);
+  std::stringstream empty_input("");
+  EXPECT_THROW(read_edge_list(empty_input), std::logic_error);
+  std::stringstream comments_only("# nothing\n# here\n");
+  EXPECT_THROW(read_edge_list(comments_only), std::logic_error);
+}
+
+TEST(GraphIo, RejectsNonNumericTokens) {
+  std::stringstream bad_n("x 1\n0 1\n");
+  EXPECT_THROW(read_edge_list(bad_n), std::logic_error);
+  std::stringstream bad_endpoint("3 1\n0 one\n");
+  EXPECT_THROW(read_edge_list(bad_endpoint), std::logic_error);
+  std::stringstream bad_weight("3 1\n0 1 heavy\n");
+  EXPECT_THROW(read_edge_list(bad_weight), std::logic_error);
+  std::stringstream hex_weight("3 1\n0 1 0x10\n");
+  EXPECT_THROW(read_edge_list(hex_weight), std::logic_error);
+}
+
+TEST(GraphIo, RejectsNegativeNumbers) {
+  // operator>> into an unsigned would silently wrap these; the token parser
+  // must refuse the sign outright.
+  std::stringstream neg_n("-3 1\n0 1\n");
+  EXPECT_THROW(read_edge_list(neg_n), std::logic_error);
+  std::stringstream neg_endpoint("3 1\n0 -1\n");
+  EXPECT_THROW(read_edge_list(neg_endpoint), std::logic_error);
+  std::stringstream neg_weight("3 1\n0 1 -5\n");
+  EXPECT_THROW(read_edge_list(neg_weight), std::logic_error);
+}
+
+TEST(GraphIo, RejectsOverflow) {
+  // 2^32 does not fit VertexId; 2^64 - 1 is the kInfiniteWeight sentinel;
+  // 40 digits overflow any 64-bit accumulator.
+  std::stringstream big_n("4294967296 0\n");
+  EXPECT_THROW(read_edge_list(big_n), std::logic_error);
+  std::stringstream big_m("3 18446744073709551615\n");
+  EXPECT_THROW(read_edge_list(big_m), std::logic_error);
+  std::stringstream sentinel_weight("3 1\n0 1 18446744073709551615\n");
+  EXPECT_THROW(read_edge_list(sentinel_weight), std::logic_error);
+  std::stringstream huge("3 1\n0 1 9999999999999999999999999999999999999999\n");
+  EXPECT_THROW(read_edge_list(huge), std::logic_error);
+}
+
+TEST(GraphIo, RejectsSelfLoopsAndRangeViolations) {
+  std::stringstream self_loop("3 1\n1 1\n");
+  EXPECT_THROW(read_edge_list(self_loop), std::logic_error);
+  std::stringstream out_of_range("3 1\n0 3\n");
+  EXPECT_THROW(read_edge_list(out_of_range), std::logic_error);
+}
+
+TEST(GraphIo, RejectsTrailingGarbage) {
+  std::stringstream extra_header_token("3 1 9\n0 1\n");
+  EXPECT_THROW(read_edge_list(extra_header_token), std::logic_error);
+  std::stringstream extra_edge_token("3 1\n0 1 7 8\n");
+  EXPECT_THROW(read_edge_list(extra_edge_token), std::logic_error);
+  std::stringstream extra_edge_line("3 1\n0 1\n1 2\n");
+  EXPECT_THROW(read_edge_list(extra_edge_line), std::logic_error);
+}
+
+TEST(GraphIo, AcceptsBoundaryValuesAndCrLf) {
+  // Maximum representable weight below the sentinel, CRLF line endings, and
+  // interior comment lines are all fine.
+  std::stringstream ok("3 2\r\n# mid comment\r\n0 1 18446744073709551614\r\n"
+                       "1 2\r\n");
+  const WGraph g = read_edge_list(ok);
+  EXPECT_EQ(g.n, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[0].w, kInfiniteWeight - 1);
+  EXPECT_EQ(g.edges[1].w, 1u);
+}
+
 }  // namespace
 }  // namespace ampccut

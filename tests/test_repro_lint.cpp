@@ -317,6 +317,23 @@ TEST(ReproLintTree, MissingRootIsAnError) {
   EXPECT_FALSE(err.empty());
 }
 
+// src/kernel joined the tree after the lint gate existed; pin that the walk
+// actually descends into it and that the layer is clean without a single
+// allow directive (its sorts are free-function key projections on psort,
+// which the comparator check accepts as-is).
+TEST(ReproLintTree, KernelLayerIsInScopeAndClean) {
+  Report r;
+  std::string err;
+  ASSERT_TRUE(scan_tree(AMPC_CUT_SOURCE_DIR, {"src/kernel"}, r, &err)) << err;
+  EXPECT_GE(r.files_scanned, 4);  // kernel.{h,cpp}, front.{h,cpp}
+  std::string diag;
+  for (const Finding& f : r.findings) {
+    diag += f.file + ':' + std::to_string(f.line) + ' ' + f.message + '\n';
+  }
+  EXPECT_TRUE(r.findings.empty()) << diag;
+  EXPECT_TRUE(r.allowed.empty()) << "kernel layer should need no allowlist";
+}
+
 // The gate CI enforces: the real tree has zero non-allowlisted findings, and
 // the fixture directory is excluded from the walk.
 TEST(ReproLintTree, RealTreeHasZeroFindings) {
