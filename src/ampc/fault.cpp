@@ -1,0 +1,69 @@
+#include "ampc/fault.h"
+
+#include <utility>
+
+#include "support/rng.h"
+
+namespace ampccut::ampc {
+
+bool FaultPlan::enabled() const {
+  return crash_rate > 0.0 || read_fail_rate > 0.0 || write_loss_rate > 0.0 ||
+         delay_rate > 0.0 || !scheduled.empty();
+}
+
+namespace {
+
+// One uniform [0,1) draw per (seed, kind, round, machine, attempt): the
+// chained-splitmix construction Rng::split uses, finished with
+// Rng::next_double's mantissa scaling. Including `attempt` re-rolls every
+// decision on replay.
+double fault_draw(std::uint64_t seed, FaultKind kind, std::uint64_t round,
+                  std::uint64_t machine, std::uint32_t attempt) {
+  std::uint64_t h = splitmix64(
+      seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(kind) + 1)));
+  h = splitmix64(h ^ round);
+  h = splitmix64(h ^ machine);
+  h = splitmix64(h ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double rate_of(const FaultPlan& plan, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMachineCrash: return plan.crash_rate;
+    case FaultKind::kTableReadFail: return plan.read_fail_rate;
+    case FaultKind::kStagedWriteLoss: return plan.write_loss_rate;
+    case FaultKind::kSlowMachine: return plan.delay_rate;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::fires(FaultKind kind, std::uint64_t round,
+                          std::uint64_t machine,
+                          std::uint32_t attempt) const {
+  if (attempt == 0) {
+    for (const ScheduledFault& f : plan_.scheduled) {
+      if (f.kind == kind && f.round == round && f.machine == machine) {
+        return true;
+      }
+    }
+  }
+  const double rate = rate_of(plan_, kind);
+  return rate > 0.0 &&
+         fault_draw(plan_.seed, kind, round, machine, attempt) < rate;
+}
+
+void fault_delay_spin(std::uint64_t seed, std::uint32_t iterations) {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = seed;
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    x = splitmix64(x);
+    sink = x;
+  }
+  (void)sink;
+}
+
+}  // namespace ampccut::ampc

@@ -1,0 +1,84 @@
+// Deterministic fault injection for the AMPC runtime (DESIGN.md "Fault
+// injection & round-level recovery").
+//
+// A FaultPlan describes which failures to inject; the FaultInjector turns it
+// into per-(round, machine, attempt) decisions that are pure functions of
+// the plan's seed — derived from the same splitmix64 chain support/rng.h
+// builds on, never from wall clock or thread schedule. The runtime installs
+// one injector per Runtime (Config::fault) and consults it at three hooks:
+// machine entry (crash / straggler delay), the table read path, and the
+// table put path. An injected failure throws MachineFailedError
+// (support/errors.h); the round barrier discards the round's staged writes
+// — committed tables are untouched by construction — and replays the round
+// under RetryPolicy. Because every decision also hashes the attempt index,
+// rate-based faults re-roll on replay and cannot pin a round forever, while
+// explicitly scheduled faults fire on attempt 0 only, so their recovery is
+// guaranteed to succeed (given max_attempts >= 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ampccut::ampc {
+
+enum class FaultKind : std::uint8_t {
+  kMachineCrash = 0,     // machine dies at round entry; round retries
+  kTableReadFail = 1,    // machine's first table read fails; round retries
+  kStagedWriteLoss = 2,  // machine's staged writes are lost — detected at
+                         // the first put (a real transport detects it via
+                         // ack mismatch), surfaced as a machine failure so
+                         // the discard-and-replay path restores them
+  kSlowMachine = 3,      // deterministic straggler spin; never fails
+};
+
+// Explicitly scheduled fault: fires when (round_index, machine_id) match, on
+// attempt 0 only, regardless of the rates below.
+struct ScheduledFault {
+  std::uint64_t round = 0;
+  std::uint64_t machine = 0;
+  FaultKind kind = FaultKind::kMachineCrash;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  // Per-(round, machine, attempt) probabilities, each drawn independently.
+  double crash_rate = 0.0;
+  double read_fail_rate = 0.0;
+  double write_loss_rate = 0.0;
+  double delay_rate = 0.0;
+  std::uint32_t delay_spin = 256;  // spin iterations per injected delay
+  std::vector<ScheduledFault> scheduled;
+
+  // True when any fault can ever fire; Runtime skips all hooks otherwise.
+  [[nodiscard]] bool enabled() const;
+};
+
+// Bounded round-level recovery: a failed round is replayed up to
+// max_attempts total executions before RetriesExhaustedError surfaces.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  // total attempts per round (>= 1)
+  std::uint32_t backoff_spin = 0;  // deterministic spin between attempts
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Whether `kind` fires for machine `machine` of logical round `round` on
+  // retry `attempt`. Pure in its arguments: every caller at every thread
+  // count sees the same schedule.
+  [[nodiscard]] bool fires(FaultKind kind, std::uint64_t round,
+                           std::uint64_t machine, std::uint32_t attempt) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+// Deterministic busy work (slow-machine injection, retry backoff): a
+// splitmix64 chain of `iterations` steps — no clocks, no syscalls, cannot be
+// elided by the optimizer.
+void fault_delay_spin(std::uint64_t seed, std::uint32_t iterations);
+
+}  // namespace ampccut::ampc

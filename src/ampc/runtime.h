@@ -24,6 +24,15 @@
 // frozen-read invariant holds because committed storage is only ever touched
 // between rounds.
 //
+// Failure semantics (DESIGN.md "Fault injection & round-level recovery"): a
+// machine that throws MachineFailedError — injected by Config::fault or
+// thrown by the body — fails only its round. The barrier discards the
+// round's machine staging buffers (committed state is untouched by
+// construction) and replays the round under Config::retry; past
+// max_attempts, RetriesExhaustedError surfaces. Any other exception also
+// leaves the runtime reusable: staging cleared, leases releasable,
+// reset_for_subproblem legal.
+//
 // Metrics separate *measured* rounds (what the simulator executed) from
 // *charged* rounds (published costs of cited primitives — see DESIGN.md
 // round-accounting policy; only the MSF primitive uses charging).
@@ -45,8 +54,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ampc/fault.h"
 #include "support/bits.h"
 #include "support/check.h"
+#include "support/errors.h"
 #include "support/psort.h"
 #include "support/threadpool.h"
 
@@ -56,7 +67,16 @@ struct Config {
   double eps = 0.5;                 // machine memory exponent
   std::uint64_t problem_size = 0;   // N = n + m; machine memory = N^eps
   std::uint64_t machine_memory_words = 0;  // derived if 0
-  bool enforce_local_memory = true;        // record violations (never throws)
+  bool enforce_local_memory = true;  // count (or, strict, throw on) violations
+  // Strict budget mode: a machine whose round traffic exceeds
+  // machine_memory_words throws BudgetExceededError instead of bumping the
+  // violation counter. Deterministic, so the barrier never retries it — the
+  // algorithm layer catches it and degrades (mincut_ampc.h).
+  bool strict_budget = false;
+  // Deterministic fault injection + bounded round-level recovery (fault.h).
+  // Default plan is empty: all hooks compile down to one null check.
+  FaultPlan fault;
+  RetryPolicy retry;
 
   static Config for_problem(std::uint64_t n_plus_m, double eps = 0.5) {
     Config c;
@@ -82,6 +102,14 @@ struct Metrics {
   std::uint64_t max_machine_traffic = 0;  // per machine per round
   std::uint64_t peak_table_words = 0;     // total-memory proxy
   std::atomic<std::uint64_t> budget_violations{0};
+  // Robustness counters (fault.h). Injected faults and machine failures are
+  // recorded as they happen — including on attempts whose staging is later
+  // discarded — while rounds_retried counts the extra (replay) executions.
+  // Everything above this comment is bit-identical between a faulted run
+  // whose retries succeed and the fault-free run.
+  std::uint64_t rounds_retried = 0;
+  std::atomic<std::uint64_t> faults_injected{0};
+  std::atomic<std::uint64_t> machine_failures{0};
   // Transparent comparators: the per-round bump looks labels up by const
   // char* without materializing a std::string (rounds are fine-grained
   // enough that the temporary showed up in profiles).
@@ -102,6 +130,9 @@ struct Metrics {
     max_machine_traffic = 0;
     peak_table_words = 0;
     budget_violations.store(0, std::memory_order_relaxed);
+    rounds_retried = 0;
+    faults_injected.store(0, std::memory_order_relaxed);
+    machine_failures.store(0, std::memory_order_relaxed);
     rounds_by_label.clear();
     charged_by_label.clear();
   }
@@ -185,6 +216,12 @@ class TableBase {
   virtual void commit_shard(std::size_t shard) = 0;
   virtual void finish_commit() = 0;
   [[nodiscard]] virtual std::uint64_t size_words() const = 0;
+
+  // Round-level recovery (driver thread, after a failed round's barrier):
+  // drop every machine staging buffer without applying it, leaving committed
+  // contents untouched. The driver-side overflow buffer survives — it was
+  // staged outside the failed round and must still commit with the retry.
+  virtual void discard_machine_staged() = 0;
 
   // Serial commit of an already-sealed table: same phase order as the
   // parallel path, hence bit-identical results.
@@ -337,6 +374,16 @@ class Runtime {
   };
   [[nodiscard]] PoolStats pool_stats() const;
 
+  // --- Fault-injection hooks (fault.h) ------------------------------------
+  // Called by Table/DenseTable on the read and put paths while a machine
+  // context is active; one predictable null check when no plan is installed.
+  void fault_point_read(MachineContext& ctx) {
+    if (injector_ != nullptr) fault_read_slow(ctx);
+  }
+  void fault_point_write(MachineContext& ctx) {
+    if (injector_ != nullptr) fault_write_slow(ctx);
+  }
+
  private:
   template <class T>
   friend class TableLease;
@@ -360,9 +407,21 @@ class Runtime {
 
   void release_leased(std::unique_ptr<detail::TableBase> table);
 
+  // Fault slow paths and the recovery helper (runtime.cpp).
+  void fault_read_slow(MachineContext& ctx);
+  void fault_write_slow(MachineContext& ctx);
+  void machine_entry_faults(MachineContext& ctx);
+  void discard_machine_staging();
+
   Config cfg_;
   Metrics metrics_;
   ThreadPool& pool_;
+  // Installed when cfg_.fault.enabled(); decisions read fault_round_ /
+  // fault_attempt_, which only the driver writes (between pool barriers, so
+  // the batch hand-off publishes them to the workers).
+  std::unique_ptr<FaultInjector> injector_;
+  std::uint64_t fault_round_ = 0;
+  std::uint32_t fault_attempt_ = 0;
   std::mutex tables_mu_;
   std::vector<detail::TableBase*> tables_;  // guarded by tables_mu_
   std::size_t round_buffers_ = 0;  // machine buffers of the round in flight
@@ -440,7 +499,10 @@ class Table final : public detail::TableBase {
   // Adaptive read during a round (counts against the machine budget).
   // Committed storage is immutable while machines run, so reads take no lock.
   std::optional<V> get(const K& key) const {
-    if (auto* ctx = MachineContext::current()) ctx->count_read(words_per_kv());
+    if (auto* ctx = MachineContext::current()) {
+      rt_.fault_point_read(*ctx);
+      ctx->count_read(words_per_kv());
+    }
     const auto& data = shards_vec_[shard_of(key)].data;
     const auto it = data.find(key);
     if (it == data.end()) return std::nullopt;
@@ -461,6 +523,7 @@ class Table final : public detail::TableBase {
   void put(const K& key, V value) {
     const auto shard = static_cast<std::uint32_t>(shard_of(key));
     if (auto* ctx = MachineContext::current()) {
+      rt_.fault_point_write(*ctx);
       ctx->count_write(words_per_kv());
       Buffer& buf = buffers_[ctx->machine_id()];
       if (buf.entries.empty()) {
@@ -592,6 +655,23 @@ class Table final : public detail::TableBase {
     dirty_.clear();
   }
 
+  void discard_machine_staged() override {
+    bool overflow_dirty = false;
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      const std::uint32_t id = dirty_.id_at(d);
+      if (id == detail::DirtyBuffers::kOverflow) {
+        overflow_dirty = true;  // staged outside the round; keep for retry
+        continue;
+      }
+      Buffer& buf = buffers_[id];
+      buf.entries.clear();
+      buf.parted.clear();
+      buf.offsets.clear();
+    }
+    dirty_.clear();
+    if (overflow_dirty) dirty_.mark(detail::DirtyBuffers::kOverflow);
+  }
+
  private:
   struct Staged {
     std::uint32_t shard;
@@ -657,7 +737,10 @@ class DenseTable final : public detail::TableBase {
 
   V get(std::uint64_t i) const {
     REPRO_DCHECK(i < data_.size());
-    if (auto* ctx = MachineContext::current()) ctx->count_read(words_per_v());
+    if (auto* ctx = MachineContext::current()) {
+      rt_.fault_point_read(*ctx);
+      ctx->count_read(words_per_v());
+    }
     return data_[i];
   }
 
@@ -665,6 +748,7 @@ class DenseTable final : public detail::TableBase {
     REPRO_DCHECK(i < data_.size());
     const auto shard = static_cast<std::uint32_t>(i / shard_size_);
     if (auto* ctx = MachineContext::current()) {
+      rt_.fault_point_write(*ctx);
       ctx->count_write(words_per_v());
       Buffer& buf = buffers_[ctx->machine_id()];
       if (buf.entries.empty()) {
@@ -781,6 +865,23 @@ class DenseTable final : public detail::TableBase {
       buf.offsets.clear();
     }
     dirty_.clear();
+  }
+
+  void discard_machine_staged() override {
+    bool overflow_dirty = false;
+    for (std::size_t d = 0, nd = dirty_.count(); d < nd; ++d) {
+      const std::uint32_t id = dirty_.id_at(d);
+      if (id == detail::DirtyBuffers::kOverflow) {
+        overflow_dirty = true;  // staged outside the round; keep for retry
+        continue;
+      }
+      Buffer& buf = buffers_[id];
+      buf.entries.clear();
+      buf.parted.clear();
+      buf.offsets.clear();
+    }
+    dirty_.clear();
+    if (overflow_dirty) dirty_.mark(detail::DirtyBuffers::kOverflow);
   }
 
  private:

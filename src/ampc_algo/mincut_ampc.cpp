@@ -34,23 +34,53 @@ AmpcMinCutReport ampc_approx_min_cut(const WGraph& g,
   backend.track_singleton = [&, arena](const WGraph& inst,
                                        const ContractionOrder& o,
                                        std::uint32_t level) {
-    RuntimeArena::Lease rt =
-        arena->acquire(Config::for_problem(inst.n + inst.m(), opt.model_eps));
     AmpcSingletonOptions sopt;
     sopt.use_boruvka_msf = opt.use_boruvka_msf;
-    const SingletonCutResult r = ampc_min_singleton_cut(*rt, inst, o, sopt);
-    const Metrics& m = rt->metrics();
-    std::lock_guard<std::mutex> lock(mu);
-    level_measured[level] = std::max(level_measured[level], m.rounds);
-    level_charged[level] = std::max(level_charged[level], m.charged_rounds);
-    report.dht_reads += m.dht_reads;
-    report.dht_writes += m.dht_writes;
-    report.max_machine_traffic =
-        std::max(report.max_machine_traffic, m.max_machine_traffic);
-    report.peak_table_words =
-        std::max(report.peak_table_words, m.peak_table_words);
-    report.budget_violations += m.budget_violations.load();
-    return r;
+    // Graceful degradation under strict budgets: BudgetExceededError is
+    // deterministic (the barrier never retries it), so rerun the instance
+    // with a coarser model — larger eps means bigger machines and fewer of
+    // them. Once eps tops out at 1 the last resort is rerunning with
+    // enforcement relaxed to counting (still recorded as a degradation), so
+    // the solve always completes and the stats say exactly what it cost. A
+    // failed run's lease unwinds before the next acquire, so its metrics
+    // are never counted; the tracker result itself is model-eps-independent.
+    double eps = opt.model_eps;
+    bool strict = opt.strict_budget;
+    for (;;) {
+      Config cfg = Config::for_problem(inst.n + inst.m(), eps);
+      cfg.strict_budget = strict;
+      cfg.fault = opt.fault;
+      cfg.retry = opt.retry;
+      RuntimeArena::Lease rt = arena->acquire(cfg);
+      SingletonCutResult r;
+      try {
+        r = ampc_min_singleton_cut(*rt, inst, o, sopt);
+      } catch (const BudgetExceededError&) {
+        if (eps < 1.0) {
+          eps = std::min(1.0, eps + std::max(0.01, opt.degrade_eps_step));
+        } else {
+          strict = false;  // terminal fallback: count instead of throwing
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++report.budget_degradations;
+        continue;
+      }
+      const Metrics& m = rt->metrics();
+      std::lock_guard<std::mutex> lock(mu);
+      level_measured[level] = std::max(level_measured[level], m.rounds);
+      level_charged[level] = std::max(level_charged[level], m.charged_rounds);
+      report.dht_reads += m.dht_reads;
+      report.dht_writes += m.dht_writes;
+      report.max_machine_traffic =
+          std::max(report.max_machine_traffic, m.max_machine_traffic);
+      report.peak_table_words =
+          std::max(report.peak_table_words, m.peak_table_words);
+      report.budget_violations += m.budget_violations.load();
+      report.faults_injected += m.faults_injected.load();
+      report.machine_failures += m.machine_failures.load();
+      report.rounds_retried += m.rounds_retried;
+      return r;
+    }
   };
   backend.solve_local = [&](const WGraph& inst, std::uint32_t) {
     {

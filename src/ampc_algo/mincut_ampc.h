@@ -37,6 +37,20 @@ struct AmpcMinCutOptions {
   // iterations; benches can share one across sweep points. Never affects
   // results or metrics (DESIGN.md "Table and runtime pooling").
   RuntimeArena* arena = nullptr;
+  // Robustness (DESIGN.md "Fault injection & round-level recovery"):
+  // forwarded into every tracker runtime's Config. With a plan whose retries
+  // succeed, results and all non-fault metrics are bit-identical to the
+  // fault-free run — recovery replays rounds against untouched committed
+  // state.
+  FaultPlan fault;
+  RetryPolicy retry;
+  // Escalate budget violations to BudgetExceededError inside the tracker;
+  // the tracker hook then degrades gracefully: rerun the instance with
+  // model_eps bumped by degrade_eps_step (bigger machines, fewer of them)
+  // until it fits or eps reaches 1. Each rerun is surfaced in the report's
+  // budget_degradations.
+  bool strict_budget = false;
+  double degrade_eps_step = 0.25;
 };
 
 struct AmpcMinCutReport {
@@ -53,6 +67,14 @@ struct AmpcMinCutReport {
   std::uint64_t max_machine_traffic = 0;
   std::uint64_t peak_table_words = 0;
   std::uint64_t budget_violations = 0;
+
+  // Robustness counters, summed over tracker runs. Excluded from the
+  // bit-identity contract (they describe the failures, not the computation);
+  // every other field above matches the fault-free run exactly.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t machine_failures = 0;
+  std::uint64_t rounds_retried = 0;
+  std::uint64_t budget_degradations = 0;
 
   [[nodiscard]] std::uint64_t model_rounds() const {
     return measured_rounds + charged_rounds;

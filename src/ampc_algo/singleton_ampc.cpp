@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "ampc_algo/list_ranking.h"
 #include "ampc_algo/low_depth_ampc.h"
@@ -332,12 +331,16 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
     TimeStep lo, hi;
     Weight w;
   };
-  std::vector<Interval> intervals;
-  std::mutex intervals_mu;
   const std::uint64_t items = static_cast<std::uint64_t>(g.m()) * h;
   const std::uint64_t per =
       std::max<std::uint64_t>(1, rt.config().machine_memory_words);
-  rt.round("singleton.intervals", ceil_div(items, per),
+  // One host-side slot per machine, assigned (not appended) so a replayed
+  // round overwrites its own attempt's output — the round body has to be
+  // idempotent for the barrier's discard-and-retry recovery to be exact.
+  // Concatenating in machine-id order below also fixes the interval order,
+  // which the old mutex-guarded append left to the thread schedule.
+  std::vector<std::vector<Interval>> machine_intervals(ceil_div(items, per));
+  rt.round("singleton.intervals", machine_intervals.size(),
            [&](MachineContext& ctx) {
     const std::uint64_t lo_item = ctx.machine_id() * per;
     const std::uint64_t hi_item = std::min(items, lo_item + per);
@@ -385,9 +388,12 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
         }
       }
     }
-    std::lock_guard<std::mutex> lock(intervals_mu);
-    intervals.insert(intervals.end(), local.begin(), local.end());
+    machine_intervals[ctx.machine_id()] = std::move(local);
   });
+  std::vector<Interval> intervals;
+  for (auto& chunk : machine_intervals) {
+    intervals.insert(intervals.end(), chunk.begin(), chunk.end());
+  }
 
   // 7. Group by leader and compress same-timestamp deltas (the S'' sequence
   // of Lemma 14) — a standard O(1/eps) AMPC sort, charged.

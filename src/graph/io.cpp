@@ -6,11 +6,18 @@
 #include <string>
 #include <vector>
 
-#include "support/check.h"
+#include "support/errors.h"
 
 namespace ampccut {
 
 namespace {
+
+// Malformed bytes on disk are a runtime condition, not a programming bug:
+// IO failure paths throw the typed GraphIoError (support/errors.h) instead
+// of REPRO_CHECK's logic_error, so tools can catch exactly the IO surface.
+void io_check(bool ok, const std::string& msg) {
+  if (!ok) throw GraphIoError(msg);
+}
 
 std::vector<std::string> tokens_of(const std::string& line) {
   std::vector<std::string> toks;
@@ -26,14 +33,14 @@ std::vector<std::string> tokens_of(const std::string& line) {
 // library — parsing the raw token closes both holes loudly.
 std::uint64_t parse_u64(const std::string& tok, std::uint64_t max,
                         const char* what) {
-  REPRO_CHECK_MSG(!tok.empty(), std::string("empty ") + what + " token");
+  io_check(!tok.empty(), std::string("empty ") + what + " token");
   std::uint64_t value = 0;
   for (const char c : tok) {
-    REPRO_CHECK_MSG(c >= '0' && c <= '9',
-                    std::string("non-numeric ") + what + " token: " + tok);
+    io_check(c >= '0' && c <= '9',
+             std::string("non-numeric ") + what + " token: " + tok);
     const auto digit = static_cast<std::uint64_t>(c - '0');
-    REPRO_CHECK_MSG(digit <= max && value <= (max - digit) / 10,
-                    std::string(what) + " out of range: " + tok);
+    io_check(digit <= max && value <= (max - digit) / 10,
+             std::string(what) + " out of range: " + tok);
     value = value * 10 + digit;
   }
   return value;
@@ -62,8 +69,8 @@ WGraph read_edge_list(std::istream& is) {
     if (!header_seen) {
       // A truncated ("3") or over-long ("3 5 7") header fails here rather
       // than being half-consumed.
-      REPRO_CHECK_MSG(toks.size() == 2,
-                      "malformed header line (want \"n m\"): " + line);
+      io_check(toks.size() == 2,
+               "malformed header line (want \"n m\"): " + line);
       g.n = static_cast<VertexId>(
           parse_u64(toks[0], kInvalidVertex - 1, "vertex count"));
       m = parse_u64(toks[1], kInvalidEdge - 1, "edge count");
@@ -74,11 +81,11 @@ WGraph read_edge_list(std::istream& is) {
       header_seen = true;
       continue;
     }
-    REPRO_CHECK_MSG(toks.size() == 2 || toks.size() == 3,
-                    "malformed edge line (want \"u v [w]\"): " + line);
+    io_check(toks.size() == 2 || toks.size() == 3,
+             "malformed edge line (want \"u v [w]\"): " + line);
     ++edges_seen;
-    REPRO_CHECK_MSG(edges_seen <= m,
-                    "more edge lines than the header promised");
+    io_check(edges_seen <= m,
+             "more edge lines than the header promised");
     const auto u = static_cast<VertexId>(
         parse_u64(toks[0], kInvalidVertex - 1, "endpoint"));
     const auto v = static_cast<VertexId>(
@@ -90,20 +97,20 @@ WGraph read_edge_list(std::istream& is) {
     // add_edge rejects out-of-range endpoints and self-loops loudly.
     g.add_edge(u, v, w);
   }
-  REPRO_CHECK_MSG(header_seen, "missing header line");
-  REPRO_CHECK_MSG(edges_seen == m, "edge count does not match header");
+  io_check(header_seen, "missing header line");
+  io_check(edges_seen == m, "edge count does not match header");
   return g;
 }
 
 void save_edge_list(const std::string& path, const WGraph& g) {
   std::ofstream os(path);
-  REPRO_CHECK_MSG(os.good(), "cannot open file for writing: " + path);
+  io_check(os.good(), "cannot open file for writing: " + path);
   write_edge_list(os, g);
 }
 
 WGraph load_edge_list(const std::string& path) {
   std::ifstream is(path);
-  REPRO_CHECK_MSG(is.good(), "cannot open file for reading: " + path);
+  io_check(is.good(), "cannot open file for reading: " + path);
   return read_edge_list(is);
 }
 

@@ -5,6 +5,7 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/union_find.h"
+#include "support/errors.h"
 
 namespace ampccut {
 namespace {
@@ -114,55 +115,55 @@ TEST(GraphIo, DefaultWeightAndComments) {
 
 TEST(GraphIo, RejectsMalformed) {
   std::stringstream missing_header("0 1 2\n");
-  EXPECT_THROW(read_edge_list(missing_header), std::logic_error);
+  EXPECT_THROW(read_edge_list(missing_header), GraphIoError);
   std::stringstream wrong_count("3 5\n0 1\n");
-  EXPECT_THROW(read_edge_list(wrong_count), std::logic_error);
+  EXPECT_THROW(read_edge_list(wrong_count), GraphIoError);
 }
 
-// Every malformed-input failure path must be loud (REPRO_CHECK throws
-// std::logic_error) — never a silently wrapped or truncated value.
+// Every malformed-input failure path must be loud — the typed GraphIoError
+// (support/errors.h) — never a silently wrapped or truncated value.
 TEST(GraphIo, RejectsTruncatedHeader) {
   std::stringstream one_token("3\n");
-  EXPECT_THROW(read_edge_list(one_token), std::logic_error);
+  EXPECT_THROW(read_edge_list(one_token), GraphIoError);
   std::stringstream empty_input("");
-  EXPECT_THROW(read_edge_list(empty_input), std::logic_error);
+  EXPECT_THROW(read_edge_list(empty_input), GraphIoError);
   std::stringstream comments_only("# nothing\n# here\n");
-  EXPECT_THROW(read_edge_list(comments_only), std::logic_error);
+  EXPECT_THROW(read_edge_list(comments_only), GraphIoError);
 }
 
 TEST(GraphIo, RejectsNonNumericTokens) {
   std::stringstream bad_n("x 1\n0 1\n");
-  EXPECT_THROW(read_edge_list(bad_n), std::logic_error);
+  EXPECT_THROW(read_edge_list(bad_n), GraphIoError);
   std::stringstream bad_endpoint("3 1\n0 one\n");
-  EXPECT_THROW(read_edge_list(bad_endpoint), std::logic_error);
+  EXPECT_THROW(read_edge_list(bad_endpoint), GraphIoError);
   std::stringstream bad_weight("3 1\n0 1 heavy\n");
-  EXPECT_THROW(read_edge_list(bad_weight), std::logic_error);
+  EXPECT_THROW(read_edge_list(bad_weight), GraphIoError);
   std::stringstream hex_weight("3 1\n0 1 0x10\n");
-  EXPECT_THROW(read_edge_list(hex_weight), std::logic_error);
+  EXPECT_THROW(read_edge_list(hex_weight), GraphIoError);
 }
 
 TEST(GraphIo, RejectsNegativeNumbers) {
   // operator>> into an unsigned would silently wrap these; the token parser
   // must refuse the sign outright.
   std::stringstream neg_n("-3 1\n0 1\n");
-  EXPECT_THROW(read_edge_list(neg_n), std::logic_error);
+  EXPECT_THROW(read_edge_list(neg_n), GraphIoError);
   std::stringstream neg_endpoint("3 1\n0 -1\n");
-  EXPECT_THROW(read_edge_list(neg_endpoint), std::logic_error);
+  EXPECT_THROW(read_edge_list(neg_endpoint), GraphIoError);
   std::stringstream neg_weight("3 1\n0 1 -5\n");
-  EXPECT_THROW(read_edge_list(neg_weight), std::logic_error);
+  EXPECT_THROW(read_edge_list(neg_weight), GraphIoError);
 }
 
 TEST(GraphIo, RejectsOverflow) {
   // 2^32 does not fit VertexId; 2^64 - 1 is the kInfiniteWeight sentinel;
   // 40 digits overflow any 64-bit accumulator.
   std::stringstream big_n("4294967296 0\n");
-  EXPECT_THROW(read_edge_list(big_n), std::logic_error);
+  EXPECT_THROW(read_edge_list(big_n), GraphIoError);
   std::stringstream big_m("3 18446744073709551615\n");
-  EXPECT_THROW(read_edge_list(big_m), std::logic_error);
+  EXPECT_THROW(read_edge_list(big_m), GraphIoError);
   std::stringstream sentinel_weight("3 1\n0 1 18446744073709551615\n");
-  EXPECT_THROW(read_edge_list(sentinel_weight), std::logic_error);
+  EXPECT_THROW(read_edge_list(sentinel_weight), GraphIoError);
   std::stringstream huge("3 1\n0 1 9999999999999999999999999999999999999999\n");
-  EXPECT_THROW(read_edge_list(huge), std::logic_error);
+  EXPECT_THROW(read_edge_list(huge), GraphIoError);
 }
 
 TEST(GraphIo, RejectsSelfLoopsAndRangeViolations) {
@@ -174,11 +175,11 @@ TEST(GraphIo, RejectsSelfLoopsAndRangeViolations) {
 
 TEST(GraphIo, RejectsTrailingGarbage) {
   std::stringstream extra_header_token("3 1 9\n0 1\n");
-  EXPECT_THROW(read_edge_list(extra_header_token), std::logic_error);
+  EXPECT_THROW(read_edge_list(extra_header_token), GraphIoError);
   std::stringstream extra_edge_token("3 1\n0 1 7 8\n");
-  EXPECT_THROW(read_edge_list(extra_edge_token), std::logic_error);
+  EXPECT_THROW(read_edge_list(extra_edge_token), GraphIoError);
   std::stringstream extra_edge_line("3 1\n0 1\n1 2\n");
-  EXPECT_THROW(read_edge_list(extra_edge_line), std::logic_error);
+  EXPECT_THROW(read_edge_list(extra_edge_line), GraphIoError);
 }
 
 TEST(GraphIo, AcceptsBoundaryValuesAndCrLf) {

@@ -18,7 +18,12 @@
 // --only runs and validates the matching suites but never rewrites the
 // trajectory files (a partial run must not clobber the other suites' data).
 //
-// Exit is non-zero when a bench fails to run, emits malformed or
+// Each bench runs under a per-binary timeout (--timeout <secs>, default 900,
+// 0 disables) via timeout(1) and gets exactly one retry on any failure —
+// a transient wedge (loaded CI host, kernel hiccup) should not scrap an
+// hour-long trajectory run, but a reproducible failure must still fail.
+//
+// Exit is non-zero when a bench fails to run twice, emits malformed or
 // schema-violating JSON, or a trajectory file fails to re-parse after
 // writing — CI's bench-smoke job relies on that contract.
 #include <cstdio>
@@ -91,6 +96,35 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Run one bench command, decoding std::system's waitpid-style status into a
+// human-readable failure description. Returns true on exit status 0.
+// timeout(1) exits 124 when it had to kill the bench — call that out
+// explicitly so a hung bench reads differently from a crashed one.
+bool run_bench_cmd(const std::string& cmd, const char* name,
+                   std::string* failure) {
+  std::printf("=== %s ===\n", cmd.c_str());
+  std::fflush(stdout);
+  const int rc = std::system(cmd.c_str());
+  if (rc == 0) return true;
+  char buf[160];
+#ifdef __unix__
+  if (WIFEXITED(rc) && WEXITSTATUS(rc) == 124) {
+    std::snprintf(buf, sizeof(buf), "%s timed out (timeout(1) exit 124)",
+                  name);
+  } else if (WIFSIGNALED(rc)) {
+    std::snprintf(buf, sizeof(buf), "%s killed by signal %d", name,
+                  WTERMSIG(rc));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s exited with status %d", name,
+                  WIFEXITED(rc) ? WEXITSTATUS(rc) : rc);
+  }
+#else
+  std::snprintf(buf, sizeof(buf), "%s exited with status %d", name, rc);
+#endif
+  *failure = buf;
+  return false;
+}
+
 std::optional<std::string> read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
@@ -140,6 +174,8 @@ int main(int argc, char** argv) {
   const fs::path out_dir = arg_value(argc, argv, "--out-dir", ".");
   const char* only = arg_value(argc, argv, "--only", nullptr);
   const char* threads = arg_value(argc, argv, "--threads", nullptr);
+  const long timeout_secs =
+      std::strtol(arg_value(argc, argv, "--timeout", "900"), nullptr, 10);
   const bool smoke = has_flag(argc, argv, "--smoke");
   const bool full = has_flag(argc, argv, "--full");
   const fs::path tmp_dir = out_dir / ".bench_tmp";
@@ -169,24 +205,25 @@ int main(int argc, char** argv) {
       cmd += " --threads ";
       cmd += threads;
     }
-    std::printf("=== %s ===\n", cmd.c_str());
-    std::fflush(stdout);
-    const int rc = std::system(cmd.c_str());
-    if (rc != 0) {
 #ifdef __unix__
-      // std::system returns the raw waitpid status on POSIX; decode it.
-      if (WIFSIGNALED(rc)) {
-        std::fprintf(stderr, "run_benches: %s killed by signal %d\n", name,
-                     WTERMSIG(rc));
-      } else {
-        std::fprintf(stderr, "run_benches: %s exited with status %d\n", name,
-                     WIFEXITED(rc) ? WEXITSTATUS(rc) : rc);
-      }
-#else
-      std::fprintf(stderr, "run_benches: %s exited with status %d\n", name,
-                   rc);
+    if (timeout_secs > 0) {
+      cmd = "timeout " + std::to_string(timeout_secs) + " " + cmd;
+    }
 #endif
-      return 1;
+    std::string failure;
+    if (!run_bench_cmd(cmd, name, &failure)) {
+      // One retry: a wedged or flaky bench gets a second chance, loudly.
+      // The bench rewrites its JSON from scratch, so a half-written file
+      // from the killed first attempt cannot leak into the merge.
+      std::fprintf(stderr,
+                   "run_benches: WARNING: %s -- retrying once (a second "
+                   "failure is fatal)\n",
+                   failure.c_str());
+      if (!run_bench_cmd(cmd, name, &failure)) {
+        std::fprintf(stderr, "run_benches: %s (retry also failed)\n",
+                     failure.c_str());
+        return 1;
+      }
     }
     suite_docs.push_back(load_validated(json_path, name));
   }
