@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "ampc_algo/list_ranking.h"
@@ -334,13 +335,14 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
   const std::uint64_t items = static_cast<std::uint64_t>(g.m()) * h;
   const std::uint64_t per =
       std::max<std::uint64_t>(1, rt.config().machine_memory_words);
-  // One host-side slot per machine, assigned (not appended) so a replayed
-  // round overwrites its own attempt's output — the round body has to be
-  // idempotent for the barrier's discard-and-retry recovery to be exact.
-  // Concatenating in machine-id order below also fixes the interval order,
-  // which the old mutex-guarded append left to the thread schedule.
-  std::vector<std::vector<Interval>> machine_intervals(ceil_div(items, per));
-  rt.round("singleton.intervals", machine_intervals.size(),
+  // Each machine ships its interval chunk through the driver-return channel
+  // (one blob per machine per attempt, so a replayed round overwrites its
+  // own attempt's output and recovery stays exact). A captured host-side
+  // slot would break under the shm transport — the body runs in a forked
+  // worker whose memory dies with it. Concatenating the blobs in machine-id
+  // order below fixes the interval order independent of thread schedule.
+  const std::uint64_t interval_machines = ceil_div(items, per);
+  rt.round("singleton.intervals", interval_machines,
            [&](MachineContext& ctx) {
     const std::uint64_t lo_item = ctx.machine_id() * per;
     const std::uint64_t hi_item = std::min(items, lo_item + per);
@@ -388,11 +390,20 @@ SingletonCutResult ampc_min_singleton_cut(Runtime& rt, const WGraph& g,
         }
       }
     }
-    machine_intervals[ctx.machine_id()] = std::move(local);
+    std::vector<std::uint8_t> blob(local.size() * sizeof(Interval));
+    if (!blob.empty()) {
+      std::memcpy(blob.data(), local.data(), blob.size());
+    }
+    ctx.driver_return(std::move(blob));
   });
   std::vector<Interval> intervals;
-  for (auto& chunk : machine_intervals) {
-    intervals.insert(intervals.end(), chunk.begin(), chunk.end());
+  for (const std::vector<std::uint8_t>& blob : rt.take_round_returns()) {
+    REPRO_CHECK(blob.size() % sizeof(Interval) == 0);
+    const std::size_t at = intervals.size();
+    intervals.resize(at + blob.size() / sizeof(Interval));
+    if (!blob.empty()) {
+      std::memcpy(intervals.data() + at, blob.data(), blob.size());
+    }
   }
 
   // 7. Group by leader and compress same-timestamp deltas (the S'' sequence

@@ -142,7 +142,18 @@ void ThreadPool::parallel_for(std::size_t count,
     // this one, so that batch stays visible to late-waking workers.
     if (current_ == batch) current_.reset();
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  // Move the error OUT of the batch before rethrowing: workers drop their
+  // shared_ptr<Batch> asynchronously after the barrier, and if the batch
+  // still owned the exception_ptr, the exception object's final release
+  // could run on a worker thread while the caller is still examining the
+  // caught exception. Taking ownership here pins the object's entire
+  // lifetime to the calling thread.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    error = std::move(batch->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool::TaskGroup::~TaskGroup() {

@@ -1,0 +1,64 @@
+// LocalTransport: the original in-process execution strategy, now behind the
+// Transport seam. One thread-pool task per virtual machine; staged writes
+// land directly in the tables' per-machine buffers, so encode/stage/wire
+// callbacks are never touched. The wrapper ordering — context install, entry
+// faults, body, failure count, traffic record — reproduces the pre-seam
+// Runtime::round() machine lambda exactly, which is the "zero behavior
+// change" half of the transport invariant.
+#include "transport/transport.h"
+
+#include "support/errors.h"
+
+namespace ampccut::transport {
+
+namespace {
+
+class LocalTransport final : public Transport {
+ public:
+  explicit LocalTransport(ThreadPool& pool) : pool_(pool) {}
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kLocal;
+  }
+
+  void run_round(const RoundWork& work) override {
+    pool_.parallel_for(work.num_machines, [&](std::size_t machine) {
+      // run_machine installs the context, fires the entry fault hooks, runs
+      // the body and counts a MachineFailedError before rethrowing;
+      // record() then folds traffic and enforces the budget on this same
+      // thread — the exact pre-seam program points, so fault schedules,
+      // budget escalation and metrics are unchanged.
+      const MachineTraffic traffic = work.run_machine(machine);
+      work.record(machine, traffic);
+    });
+  }
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace
+
+std::optional<TransportKind> parse_transport_kind(std::string_view name) {
+  if (name == "local") return TransportKind::kLocal;
+  if (name == "shm") return TransportKind::kShm;
+  return std::nullopt;
+}
+
+const char* transport_kind_name(TransportKind kind) {
+  return kind == TransportKind::kShm ? "shm" : "local";
+}
+
+std::unique_ptr<Transport> make_shm_transport(std::uint32_t num_processes);
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          std::uint32_t num_processes,
+                                          ThreadPool* pool) {
+  if (kind == TransportKind::kShm) return make_shm_transport(num_processes);
+  if (pool == nullptr) {
+    throw TransportError("LocalTransport requires a thread pool");
+  }
+  return std::make_unique<LocalTransport>(*pool);
+}
+
+}  // namespace ampccut::transport

@@ -1,0 +1,601 @@
+// ShmTransport: machine-per-process execution over POSIX shared-memory
+// rings (DESIGN.md "Transport layer & multi-process execution").
+//
+// Topology per round attempt:
+//
+//   driver ── fork ──> worker 0  runs machines [0, c)      ─┐
+//          ── fork ──> worker 1  runs machines [c, 2c)      ├─ SPSC ring each
+//          ── ...                                           ┘
+//
+// Each worker executes its contiguous machine range *sequentially* (the
+// model's parallelism is across processes now, not threads — a forked child
+// of a multi-threaded parent must never touch the thread pool), staging
+// puts into its copy-on-write table buffers exactly as LocalTransport
+// would. At machine end the staged writes are combiner-aggregated and
+// serialized as kPutBatch frames, followed by any kDriverBlob and the
+// machine's kMachineDone, and flushed to the worker's ring. The driver
+// drains all rings concurrently with execution — a ring smaller than the
+// round's traffic therefore never deadlocks — and reconstructs each
+// machine's staging buffers via RoundWork::stage_batch. The barrier commit
+// that follows in the runtime is the unchanged two-phase machine-id-ordered
+// commit, so committed contents are bit-identical to LocalTransport no
+// matter how worker frames interleaved: entries land in per-machine buffers
+// (one producer each, in program order) and commit order is sealed by
+// machine id, not arrival.
+//
+// Failure mapping: a machine failure inside a worker — injected crash, body
+// throw — emits a kWorkerError frame and then kills the worker process for
+// real (_exit with a distinct code). The driver counts the failure, folds
+// the worker's reported fault delta, reaps every remaining worker (they run
+// to their own barriers, mirroring parallel_for's run-to-barrier
+// semantics), and rethrows MachineFailedError — handing recovery to the
+// round barrier's existing discard-and-replay path, which re-forks a fresh
+// attempt against the untouched committed state. A worker that dies
+// without a frame (segfault, kill -9) surfaces the same way, with its wait
+// status in the message.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <new>
+
+#include "support/bits.h"
+#include "support/errors.h"
+#include "transport/transport.h"
+
+namespace ampccut::transport {
+
+namespace {
+
+// Ring sized to hold several put-batch chunks; the concurrent drain keeps it
+// from ever needing to hold a whole round.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 20;
+// Producer-side full-ring spin budget (sched_yield per iteration). The
+// consumer drains every ~100us, so hitting this means the driver is gone.
+constexpr std::uint64_t kMaxWriteSpins = std::uint64_t{1} << 24;
+constexpr std::size_t kRingHeaderBytes = 128;  // cursor cacheline separation
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// --- ShmRegion --------------------------------------------------------------
+
+ShmRegion ShmRegion::create(std::size_t size) {
+  // Unique-name generation: pid + a process-local counter. No randomness —
+  // collisions are impossible within a process and O_EXCL rejects the
+  // stale-name case across processes (retry with the next counter value).
+  static std::atomic<std::uint64_t> counter{0};
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+    std::string name = "/ampccut-" + std::to_string(::getpid()) + "-" +
+                       std::to_string(c);
+    const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+      if (errno == EEXIST) continue;
+      throw TransportError(errno_text("shm_open failed"));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      const std::string err = errno_text("ftruncate on shm segment failed");
+      ::close(fd);
+      ::shm_unlink(name.c_str());
+      throw TransportError(err);
+    }
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                       0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+      ::shm_unlink(name.c_str());
+      throw TransportError(errno_text("mmap of shm segment failed"));
+    }
+    ShmRegion r;
+    r.data_ = mem;
+    r.size_ = size;
+    r.name_ = std::move(name);
+    r.owns_name_ = true;
+    return r;
+  }
+  throw TransportError("shm_open: could not find a free segment name");
+}
+
+ShmRegion ShmRegion::open_named(const std::string& name, std::size_t size) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    throw TransportError(errno_text("shm_open of '" + name + "' failed"));
+  }
+  void* mem =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    throw TransportError(errno_text("mmap of '" + name + "' failed"));
+  }
+  ShmRegion r;
+  r.data_ = mem;
+  r.size_ = size;
+  r.name_ = name;
+  r.owns_name_ = false;
+  return r;
+}
+
+ShmRegion::ShmRegion(ShmRegion&& other) noexcept
+    : data_(other.data_), size_(other.size_), name_(std::move(other.name_)),
+      owns_name_(other.owns_name_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.owns_name_ = false;
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    this->~ShmRegion();
+    new (this) ShmRegion(std::move(other));
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (owns_name_) ::shm_unlink(name_.c_str());
+}
+
+void ShmRegion::unlink() {
+  if (owns_name_) {
+    ::shm_unlink(name_.c_str());
+    owns_name_ = false;
+  }
+}
+
+// --- ShmRing ----------------------------------------------------------------
+
+std::size_t ShmRing::region_bytes(std::size_t capacity) {
+  return kRingHeaderBytes + capacity;
+}
+
+ShmRing::ShmRing(void* mem, std::size_t bytes, bool init)
+    : header_(static_cast<Header*>(mem)),
+      buf_(static_cast<std::uint8_t*>(mem) + kRingHeaderBytes),
+      capacity_(bytes - kRingHeaderBytes) {
+  if (bytes <= kRingHeaderBytes) {
+    throw TransportError("shm ring region too small for its header");
+  }
+  if (init) {
+    header_->head.store(0, std::memory_order_relaxed);
+    header_->tail.store(0, std::memory_order_release);
+  }
+}
+
+void ShmRing::write(const std::uint8_t* data, std::size_t n) {
+  if (n > capacity_) {
+    throw TransportError("shm ring write of " + std::to_string(n) +
+                         " bytes exceeds ring capacity " +
+                         std::to_string(capacity_));
+  }
+  std::size_t written = 0;
+  std::uint64_t spins = 0;
+  while (written < n) {
+    const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+    const std::size_t free = capacity_ - static_cast<std::size_t>(tail - head);
+    if (free == 0) {
+      if (++spins > kMaxWriteSpins) {
+        throw TransportError(
+            "shm ring stayed full too long — consumer stopped draining");
+      }
+      ::sched_yield();
+      continue;
+    }
+    spins = 0;
+    const std::size_t chunk = std::min(free, n - written);
+    const std::size_t pos = static_cast<std::size_t>(tail % capacity_);
+    const std::size_t first = std::min(chunk, capacity_ - pos);
+    std::memcpy(buf_ + pos, data + written, first);
+    std::memcpy(buf_, data + written + first, chunk - first);
+    header_->tail.store(tail + chunk, std::memory_order_release);
+    written += chunk;
+  }
+}
+
+std::size_t ShmRing::read_some(std::vector<std::uint8_t>* out) {
+  const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  if (avail == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(head % capacity_);
+  const std::size_t first = std::min(avail, capacity_ - pos);
+  const std::size_t at = out->size();
+  out->resize(at + avail);
+  std::memcpy(out->data() + at, buf_ + pos, first);
+  std::memcpy(out->data() + at + first, buf_, avail - first);
+  header_->head.store(head + avail, std::memory_order_release);
+  return avail;
+}
+
+void ShmRing::reset() {
+  header_->head.store(0, std::memory_order_relaxed);
+  header_->tail.store(0, std::memory_order_release);
+}
+
+// --- ShmTransport -----------------------------------------------------------
+
+namespace {
+
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(std::uint32_t num_processes)
+      : num_processes_(std::max<std::uint32_t>(1, num_processes)) {}
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kShm;
+  }
+
+  void run_round(const RoundWork& work) override {
+    if (work.num_machines == 0) return;
+    const std::size_t procs = static_cast<std::size_t>(
+        std::min<std::uint64_t>(num_processes_, work.num_machines));
+    const std::size_t chunk = ceil_div(work.num_machines, procs);
+    ensure_rings(procs);
+
+    struct Worker {
+      pid_t pid = -1;
+      ShmRing* ring = nullptr;
+      std::vector<std::uint8_t> buf;  // undecoded stream prefix
+      std::size_t decoded = 0;        // bytes of buf already consumed
+      std::size_t first_machine = 0;
+      std::size_t expected = 0;  // machines in this worker's range
+      bool barrier = false;
+      bool reaped = false;
+      int status = 0;
+      bool error_frame = false;
+    };
+    std::vector<Worker> workers;
+
+    // Rings must be quiescent before children attach as producers.
+    for (std::size_t w = 0; w * chunk < work.num_machines; ++w) {
+      rings_[w].reset();
+    }
+    // Child processes inherit stdio buffers; flush so error prints cannot
+    // duplicate buffered driver output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    for (std::size_t w = 0; w * chunk < work.num_machines; ++w) {
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = std::min(work.num_machines, lo + chunk);
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        const std::string err = errno_text("fork of shm worker failed");
+        for (Worker& alive : workers) {
+          ::kill(alive.pid, SIGKILL);
+          ::waitpid(alive.pid, nullptr, 0);
+        }
+        throw TransportError(err);
+      }
+      if (pid == 0) {
+        run_worker(work, rings_[w], w, lo, hi);  // never returns
+      }
+      Worker wk;
+      wk.pid = pid;
+      wk.ring = &rings_[w];
+      wk.first_machine = lo;
+      wk.expected = hi - lo;
+      workers.push_back(std::move(wk));
+    }
+
+    drain(work, &workers);
+  }
+
+ private:
+  // ---- Worker (forked child) side. Single-threaded by construction: it
+  // must never touch the thread pool or any driver mutex — malloc, the COW
+  // tables, splitmix64 and this ring are its whole world. Exits only via
+  // _exit (no static destructors, no stdio flush of inherited buffers).
+  [[noreturn]] void run_worker(const RoundWork& work, ShmRing& ring,
+                               std::size_t worker_index, std::size_t lo,
+                               std::size_t hi) {
+    work.enter_worker();
+    std::vector<std::uint8_t> frames;
+    std::uint64_t faults_base = work.faults_injected_now();
+    std::size_t machine = lo;
+    int exit_code = 0;
+    try {
+      for (; machine < hi; ++machine) {
+        const MachineTraffic traffic = work.run_machine(machine);
+        frames.clear();
+        for (std::size_t t = 0; t < work.num_tables; ++t) {
+          (void)work.encode_machine(t, machine, &frames);
+        }
+        const std::vector<std::uint8_t> blob = work.take_blob(machine);
+        if (!blob.empty()) {
+          std::vector<std::uint8_t> payload;
+          append_driver_blob(&payload, machine, blob.data(), blob.size());
+          append_frame(&frames, FrameKind::kDriverBlob, payload.data(),
+                       payload.size());
+        }
+        const std::uint64_t faults_now = work.faults_injected_now();
+        MachineDone done;
+        done.machine = machine;
+        done.reads = traffic.reads;
+        done.writes = traffic.writes;
+        done.faults_delta = faults_now - faults_base;
+        faults_base = faults_now;
+        std::vector<std::uint8_t> payload;
+        append_machine_done(&payload, done);
+        append_frame(&frames, FrameKind::kMachineDone, payload.data(),
+                     payload.size());
+        ring.write(frames.data(), frames.size());
+      }
+      frames.clear();
+      std::vector<std::uint8_t> payload;
+      append_round_barrier(&payload, {worker_index, hi - lo});
+      append_frame(&frames, FrameKind::kRoundBarrier, payload.data(),
+                   payload.size());
+      ring.write(frames.data(), frames.size());
+      ::_exit(0);
+    } catch (const MachineFailedError& e) {
+      exit_code = kWorkerExitMachineFailed;
+      send_worker_error(work, ring, machine, faults_base, exit_code,
+                        e.what());
+    } catch (const std::exception& e) {
+      exit_code = kWorkerExitInternal;
+      send_worker_error(work, ring, machine, faults_base, exit_code,
+                        e.what());
+    } catch (...) {
+      exit_code = kWorkerExitInternal;
+      send_worker_error(work, ring, machine, faults_base, exit_code,
+                        "unknown exception in worker");
+    }
+    ::_exit(exit_code);
+  }
+
+  static void send_worker_error(const RoundWork& work, ShmRing& ring,
+                                std::size_t machine,
+                                std::uint64_t faults_base, int code,
+                                const char* what) {
+    try {
+      WorkerError e;
+      e.machine = machine;
+      e.faults_delta = work.faults_injected_now() - faults_base;
+      e.code = static_cast<std::uint32_t>(code);
+      e.message = what;
+      std::vector<std::uint8_t> payload;
+      append_worker_error(&payload, e);
+      std::vector<std::uint8_t> frame;
+      append_frame(&frame, FrameKind::kWorkerError, payload.data(),
+                   payload.size());
+      ring.write(frame.data(), frame.size());
+    } catch (...) {
+      // The ring is wedged or the message malformed; the exit status alone
+      // still tells the driver this machine range failed.
+    }
+  }
+
+  // ---- Driver side: drain every ring until all workers are reaped, then
+  // validate the protocol. `failed_` mode keeps draining (children must
+  // reach their own barriers, as parallel_for iterations do) but stops
+  // staging, recording, and blob delivery.
+  template <class Worker>
+  void drain(const RoundWork& work, std::vector<Worker>* workers) {
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t flush_batches = 0;
+    std::exception_ptr failure;
+    std::uint64_t machine_failures = 0;
+
+    auto handle_frame = [&](Worker& w, const FrameView& f) {
+      switch (f.kind) {
+        case FrameKind::kPutBatch: {
+          if (failure) return;
+          const PutBatch b = decode_put_batch(f.payload, f.size);
+          if (b.table >= work.num_tables || b.machine >= work.num_machines) {
+            throw TransportError("wire: put batch addresses table " +
+                                 std::to_string(b.table) + ", machine " +
+                                 std::to_string(b.machine) +
+                                 " outside the round");
+          }
+          ++flush_batches;
+          work.stage_batch(b);
+          return;
+        }
+        case FrameKind::kDriverBlob: {
+          if (failure) return;
+          const DriverBlob b = decode_driver_blob(f.payload, f.size);
+          if (b.machine >= work.num_machines) {
+            throw TransportError("wire: driver blob for machine " +
+                                 std::to_string(b.machine) +
+                                 " outside the round");
+          }
+          work.put_blob(static_cast<std::size_t>(b.machine), b.data,
+                        static_cast<std::size_t>(b.size));
+          return;
+        }
+        case FrameKind::kMachineDone: {
+          if (failure) return;
+          const MachineDone d = decode_machine_done(f.payload, f.size);
+          if (d.faults_delta != 0) work.add_faults_injected(d.faults_delta);
+          MachineTraffic traffic;
+          traffic.reads = d.reads;
+          traffic.writes = d.writes;
+          try {
+            work.record(static_cast<std::size_t>(d.machine), traffic);
+          } catch (...) {
+            failure = std::current_exception();  // strict-budget escalation
+          }
+          return;
+        }
+        case FrameKind::kRoundBarrier: {
+          const RoundBarrier b = decode_round_barrier(f.payload, f.size);
+          if (b.machines_run != w.expected) {
+            throw TransportError(
+                "wire: worker barrier reports " +
+                std::to_string(b.machines_run) + " machines, expected " +
+                std::to_string(w.expected));
+          }
+          w.barrier = true;
+          return;
+        }
+        case FrameKind::kWorkerError: {
+          const WorkerError e = decode_worker_error(f.payload, f.size);
+          w.error_frame = true;
+          if (e.faults_delta != 0) work.add_faults_injected(e.faults_delta);
+          ++machine_failures;
+          work.on_machine_failure();
+          if (!failure) {
+            if (e.code == kWorkerExitMachineFailed) {
+              failure = std::make_exception_ptr(MachineFailedError(
+                  work.round_index, e.machine,
+                  "worker process died: " + e.message));
+            } else {
+              failure = std::make_exception_ptr(TransportError(
+                  "worker process failed (exit code " +
+                  std::to_string(e.code) + "): " + e.message));
+            }
+          }
+          return;
+        }
+        case FrameKind::kReadRequest:
+        case FrameKind::kReadReply:
+          throw TransportError(
+              "wire: read frames are not part of the fork-launcher protocol");
+      }
+      throw TransportError("wire: unhandled frame kind");
+    };
+
+    auto drain_worker = [&](Worker& w) -> bool {
+      bool progress = w.ring->read_some(&w.buf) > 0;
+      for (;;) {
+        FrameView f;
+        const std::size_t used = decode_frame(w.buf.data() + w.decoded,
+                                              w.buf.size() - w.decoded, &f);
+        if (used == 0) break;
+        wire_bytes += used;
+        handle_frame(w, f);
+        w.decoded += used;
+        progress = true;
+      }
+      if (w.decoded == w.buf.size() && w.decoded != 0) {
+        w.buf.clear();
+        w.decoded = 0;
+      }
+      return progress;
+    };
+
+    auto drain_all = [&]() {
+      bool progress = false;
+      for (Worker& w : *workers) progress = drain_worker(w) || progress;
+      return progress;
+    };
+
+    std::size_t reaped = 0;
+    try {
+      while (reaped < workers->size()) {
+        const bool progress = drain_all();
+        for (Worker& w : *workers) {
+          if (w.reaped) continue;
+          int status = 0;
+          const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+          if (got == w.pid) {
+            w.reaped = true;
+            w.status = status;
+            ++reaped;
+          } else if (got < 0 && errno != EINTR) {
+            throw TransportError(errno_text("waitpid on shm worker failed"));
+          }
+        }
+        if (!progress && reaped < workers->size()) {
+          const timespec ts{0, 100'000};  // 100us
+          ::nanosleep(&ts, nullptr);
+        }
+      }
+      while (drain_all()) {
+      }
+    } catch (...) {
+      // Protocol failure mid-drain: do not leave children writing into a
+      // ring nobody reads — kill and reap them all before surfacing.
+      for (Worker& w : *workers) {
+        if (!w.reaped) {
+          ::kill(w.pid, SIGKILL);
+          ::waitpid(w.pid, nullptr, 0);
+          w.reaped = true;
+        }
+      }
+      throw;
+    }
+
+    // Post-drain protocol validation.
+    for (Worker& w : *workers) {
+      const int st = w.status;
+      const bool exited_zero = WIFEXITED(st) && WEXITSTATUS(st) == 0;
+      if (exited_zero && !w.barrier) {
+        throw TransportError(
+            "shm worker exited 0 without sending its round barrier");
+      }
+      if (!exited_zero && !w.error_frame) {
+        // Died without a protocol frame: a real crash (signal, OOM kill,
+        // _exit from a code path we do not own). Retryable like any other
+        // machine failure — replay re-forks against untouched state.
+        ++machine_failures;
+        work.on_machine_failure();
+        if (!failure) {
+          std::string how;
+          if (WIFSIGNALED(st)) {
+            how = "killed by signal " + std::to_string(WTERMSIG(st));
+          } else {
+            how = "exit status " +
+                  std::to_string(WIFEXITED(st) ? WEXITSTATUS(st) : st);
+          }
+          failure = std::make_exception_ptr(MachineFailedError(
+              work.round_index, w.first_machine,
+              "worker process for machines [" +
+                  std::to_string(w.first_machine) + ", " +
+                  std::to_string(w.first_machine + w.expected) + ") died (" +
+                  how + ")"));
+        }
+      }
+      if (!failure && w.buf.size() != w.decoded) {
+        throw TransportError("shm worker stream ended mid-frame (" +
+                             std::to_string(w.buf.size() - w.decoded) +
+                             " trailing bytes)");
+      }
+    }
+    (void)machine_failures;
+    if (failure) std::rethrow_exception(failure);
+    work.add_wire(wire_bytes, flush_batches);
+  }
+
+  void ensure_rings(std::size_t procs) {
+    while (rings_.size() < procs) {
+      ShmRegion region =
+          ShmRegion::create(ShmRing::region_bytes(kRingCapacity));
+      // Children inherit the mapping through fork; nobody ever needs the
+      // name again, so drop it now — no stale /dev/shm entries on crash.
+      region.unlink();
+      rings_.emplace_back(region.data(), region.size(), /*init=*/true);
+      regions_.push_back(std::move(region));
+    }
+  }
+
+  std::uint32_t num_processes_;
+  std::vector<ShmRegion> regions_;
+  std::vector<ShmRing> rings_;  // parallel to regions_
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(std::uint32_t num_processes) {
+  return std::make_unique<ShmTransport>(num_processes);
+}
+
+}  // namespace ampccut::transport

@@ -1,0 +1,211 @@
+// The transport seam between the AMPC runtime's round barrier and the
+// machinery that actually executes virtual machines and moves their staged
+// DHT writes (DESIGN.md "Transport layer & multi-process execution").
+//
+// Runtime::round() builds one RoundWork — a bundle of callbacks that close
+// over the runtime's tables, metrics and fault hooks — and hands it to its
+// Transport. Two implementations:
+//
+//   LocalTransport (local.cpp)  the original single-process execution: one
+//       thread-pool task per virtual machine, staged writes land directly in
+//       the tables' per-machine staging buffers. Zero behavior change from
+//       the pre-seam runtime — same thread, same program point for every
+//       fault hook, traffic fold and budget check.
+//
+//   ShmTransport (shm.cpp)  machine-per-process execution: a fork-based
+//       launcher runs contiguous machine ranges in worker processes, whose
+//       staged writes travel back to the driver as length-prefixed wire
+//       frames (wire.h) over POSIX shared-memory rings. The driver
+//       reconstructs the same per-machine staging buffers and the barrier
+//       commit that follows is the identical two-phase machine-id-ordered
+//       commit — which is why every committed value is bit-identical to
+//       LocalTransport by construction. Forking (rather than exec'ing) the
+//       workers is load-bearing twice over: round bodies are C++ closures
+//       that cannot cross an exec boundary, and the child's copy-on-write
+//       snapshot of the committed tables IS the round's frozen H_{i-1}.
+//
+// The seam deliberately speaks only in callbacks and opaque table indices:
+// this library depends on cut_support alone, and the runtime's templates
+// (Table<K,V>, DenseTable<V>) stay on the other side of the boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/threadpool.h"
+#include "transport/wire.h"
+
+namespace ampccut::transport {
+
+enum class TransportKind : std::uint8_t {
+  kLocal = 0,  // in-process: machines are thread-pool tasks
+  kShm = 1,    // machine-per-process over shared-memory rings
+};
+
+// "local" / "shm" (Config::transport, bench --transport flags).
+std::optional<TransportKind> parse_transport_kind(std::string_view name);
+const char* transport_kind_name(TransportKind kind);
+
+struct MachineTraffic {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+// One round's execution contract, built fresh by Runtime::round() per
+// attempt. All callbacks are non-null when handed to run_round().
+struct RoundWork {
+  const char* label = "";
+  std::uint64_t round_index = 0;
+  std::size_t num_machines = 0;
+  std::size_t num_tables = 0;
+
+  // Execute machine m's body with its MachineContext installed (entry fault
+  // hooks included). Throws MachineFailedError on machine failure. Under
+  // ShmTransport this runs inside the forked worker process.
+  std::function<MachineTraffic(std::size_t)> run_machine;
+
+  // Fold machine m's traffic into the round accumulators and enforce the
+  // local-memory budget; throws BudgetExceededError under strict budget.
+  // LocalTransport calls it on the machine's own thread immediately after
+  // run_machine (the pre-seam program point); ShmTransport calls it on the
+  // driver as the machine's done-frame drains.
+  std::function<void(std::size_t, const MachineTraffic&)> record;
+
+  // Count one machine failure (driver side under ShmTransport — the worker
+  // that counted it in its own address space is dead).
+  std::function<void()> on_machine_failure;
+
+  // Serialize table `t`'s staged writes from machine m as complete
+  // kPutBatch frames appended to `out` (combiner-aggregated for commutative
+  // merge policies); the staged buffer is left in place — the worker
+  // process exits right after encoding. Returns frames appended.
+  std::function<std::uint64_t(std::size_t t, std::size_t m,
+                              std::vector<std::uint8_t>* out)>
+      encode_machine;
+
+  // Apply one decoded kPutBatch on the driver: reconstruct machine
+  // b.machine's staging entries for table b.table.
+  std::function<void(const PutBatch& b)> stage_batch;
+
+  // Driver-return channel (MachineContext::driver_return): move machine m's
+  // blob out of the worker-side slot / store it into the driver-side slot.
+  std::function<std::vector<std::uint8_t>(std::size_t m)> take_blob;
+  std::function<void(std::size_t m, const std::uint8_t* data,
+                     std::size_t size)>
+      put_blob;
+
+  // Metrics::faults_injected bridge: a worker reports the delta its
+  // machines injected (its own counter dies with it); the driver re-applies.
+  std::function<std::uint64_t()> faults_injected_now;
+  std::function<void(std::uint64_t)> add_faults_injected;
+
+  // Fold wire traffic (Metrics::wire_bytes_sent / flush_batches). Called
+  // once per successful round attempt by ShmTransport; never by Local.
+  std::function<void(std::uint64_t bytes, std::uint64_t batches)> add_wire;
+
+  // Mark the runtime as executing inside a forked worker (arms the guard
+  // against cross-process table registration mid-round).
+  std::function<void()> enter_worker;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+  // Runs every machine and delivers all staged writes into the tables'
+  // per-machine buffers; the caller commits at the barrier. Throws
+  // MachineFailedError (retryable), BudgetExceededError (strict budget) or
+  // TransportError (protocol/launcher failure).
+  virtual void run_round(const RoundWork& work) = 0;
+};
+
+// Factory (Config::transport): `pool` backs LocalTransport's machine
+// fan-out; `num_processes` caps ShmTransport's worker count (>= 1).
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          std::uint32_t num_processes,
+                                          ThreadPool* pool);
+
+// ---------------------------------------------------------------------------
+// POSIX shared-memory plumbing, exposed so tools/ampc_worker (the exec'd
+// wire-protocol harness) and the transport tests can speak the same ring
+// format as the fork launcher. Implemented in shm.cpp.
+
+// A shm_open + mmap'd segment. Move-only; unmaps on destruction. The name
+// can be unlinked as soon as every process that needs the segment has
+// mapped (fork launcher) or opened (exec'd worker) it.
+class ShmRegion {
+ public:
+  // Creates a fresh segment under a generated unique name.
+  static ShmRegion create(std::size_t size);
+  // Attaches to an existing segment by name (exec'd workers).
+  static ShmRegion open_named(const std::string& name, std::size_t size);
+
+  ShmRegion() = default;
+  ShmRegion(ShmRegion&& other) noexcept;
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ~ShmRegion();
+
+  [[nodiscard]] void* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+
+  // Removes the name from the shm namespace; existing mappings live on.
+  void unlink();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+  bool owns_name_ = false;  // created (not opened) and not yet unlinked
+};
+
+// Single-producer single-consumer byte ring over a shared-memory segment.
+// The producer (worker) appends whole frames; the consumer (driver) drains
+// concurrently, so a ring smaller than a round's total traffic never
+// deadlocks — the producer spins (bounded, with yields) only while the ring
+// is momentarily full.
+class ShmRing {
+ public:
+  // Lays a ring over `region` (init=true zeroes the cursors — exactly one
+  // side initializes, before the other attaches).
+  ShmRing(void* mem, std::size_t bytes, bool init);
+
+  // Smallest region that gives the ring `capacity` usable bytes.
+  static std::size_t region_bytes(std::size_t capacity);
+
+  // Producer: append `n` bytes, spinning while full. Throws TransportError
+  // if the consumer stops draining for implausibly long (dead driver).
+  void write(const std::uint8_t* data, std::size_t n);
+
+  // Consumer: move every currently-available byte to the back of `out`.
+  // Returns the number of bytes drained (0 = nothing new).
+  std::size_t read_some(std::vector<std::uint8_t>* out);
+
+  // Driver-side reset between rounds (no producer may be alive).
+  void reset();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Header {
+    std::atomic<std::uint64_t> head;  // consumer cursor (bytes read)
+    std::atomic<std::uint64_t> tail;  // producer cursor (bytes written)
+  };
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "shared-memory ring cursors must be lock-free");
+
+  Header* header_;
+  std::uint8_t* buf_;
+  std::size_t capacity_;
+};
+
+}  // namespace ampccut::transport

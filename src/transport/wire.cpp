@@ -1,0 +1,190 @@
+#include "transport/wire.h"
+
+namespace ampccut::transport {
+
+namespace {
+
+bool valid_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(FrameKind::kPutBatch) &&
+         k <= static_cast<std::uint8_t>(FrameKind::kReadReply);
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>* out, FrameKind kind,
+                  const std::uint8_t* payload, std::size_t size) {
+  if (size > kMaxFramePayload) {
+    throw TransportError("wire: frame payload of " + std::to_string(size) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFramePayload) + "-byte ceiling");
+  }
+  append_u32(out, static_cast<std::uint32_t>(size));
+  append_u8(out, static_cast<std::uint8_t>(kind));
+  append_bytes(out, payload, size);
+}
+
+std::size_t decode_frame(const std::uint8_t* data, std::size_t size,
+                         FrameView* out) {
+  if (size < kFrameHeaderBytes) return 0;
+  std::uint32_t len;
+  std::memcpy(&len, data, sizeof(len));
+  if (len > kMaxFramePayload) {
+    throw TransportError("wire: frame declares " + std::to_string(len) +
+                         "-byte payload above the " +
+                         std::to_string(kMaxFramePayload) + "-byte ceiling");
+  }
+  const std::uint8_t kind = data[4];
+  if (!valid_kind(kind)) {
+    throw TransportError("wire: unknown frame kind " + std::to_string(kind));
+  }
+  if (size - kFrameHeaderBytes < len) return 0;  // wait for the rest
+  out->kind = static_cast<FrameKind>(kind);
+  out->payload = data + kFrameHeaderBytes;
+  out->size = len;
+  return kFrameHeaderBytes + len;
+}
+
+void append_put_batch_prefix(std::vector<std::uint8_t>* out,
+                             std::uint32_t table, std::uint64_t machine,
+                             std::uint32_t count, std::uint8_t key_size,
+                             std::uint8_t value_size) {
+  append_u32(out, table);
+  append_u64(out, machine);
+  append_u32(out, count);
+  append_u8(out, key_size);
+  append_u8(out, value_size);
+  append_u16(out, 0);  // reserved
+}
+
+PutBatch decode_put_batch(const std::uint8_t* payload, std::size_t size) {
+  WireCursor c(payload, size);
+  PutBatch b;
+  b.table = c.u32();
+  b.machine = c.u64();
+  b.count = c.u32();
+  b.key_size = c.u8();
+  b.value_size = c.u8();
+  (void)c.u16();  // reserved
+  if (b.key_size + b.value_size == 0 && b.count != 0) {
+    throw TransportError("wire: put batch with zero-size entries");
+  }
+  b.entries = c.bytes(b.entry_bytes());
+  c.expect_exhausted("put batch");
+  return b;
+}
+
+void append_machine_done(std::vector<std::uint8_t>* out,
+                         const MachineDone& d) {
+  append_u64(out, d.machine);
+  append_u64(out, d.reads);
+  append_u64(out, d.writes);
+  append_u64(out, d.faults_delta);
+}
+
+MachineDone decode_machine_done(const std::uint8_t* payload,
+                                std::size_t size) {
+  WireCursor c(payload, size);
+  MachineDone d;
+  d.machine = c.u64();
+  d.reads = c.u64();
+  d.writes = c.u64();
+  d.faults_delta = c.u64();
+  c.expect_exhausted("machine-done");
+  return d;
+}
+
+void append_driver_blob(std::vector<std::uint8_t>* out, std::uint64_t machine,
+                        const std::uint8_t* data, std::uint64_t size) {
+  append_u64(out, machine);
+  append_u64(out, size);
+  append_bytes(out, data, static_cast<std::size_t>(size));
+}
+
+DriverBlob decode_driver_blob(const std::uint8_t* payload, std::size_t size) {
+  WireCursor c(payload, size);
+  DriverBlob b;
+  b.machine = c.u64();
+  b.size = c.u64();
+  b.data = c.bytes(static_cast<std::size_t>(b.size));
+  c.expect_exhausted("driver blob");
+  return b;
+}
+
+void append_round_barrier(std::vector<std::uint8_t>* out,
+                          const RoundBarrier& b) {
+  append_u64(out, b.worker);
+  append_u64(out, b.machines_run);
+}
+
+RoundBarrier decode_round_barrier(const std::uint8_t* payload,
+                                  std::size_t size) {
+  WireCursor c(payload, size);
+  RoundBarrier b;
+  b.worker = c.u64();
+  b.machines_run = c.u64();
+  c.expect_exhausted("round barrier");
+  return b;
+}
+
+void append_worker_error(std::vector<std::uint8_t>* out,
+                         const WorkerError& e) {
+  append_u64(out, e.machine);
+  append_u64(out, e.faults_delta);
+  append_u32(out, e.code);
+  append_u32(out, static_cast<std::uint32_t>(e.message.size()));
+  append_bytes(out, e.message.data(), e.message.size());
+}
+
+WorkerError decode_worker_error(const std::uint8_t* payload,
+                                std::size_t size) {
+  WireCursor c(payload, size);
+  WorkerError e;
+  e.machine = c.u64();
+  e.faults_delta = c.u64();
+  e.code = c.u32();
+  const std::uint32_t msg_len = c.u32();
+  const std::uint8_t* msg = c.bytes(msg_len);
+  e.message.assign(reinterpret_cast<const char*>(msg), msg_len);
+  c.expect_exhausted("worker error");
+  return e;
+}
+
+void append_read_request(std::vector<std::uint8_t>* out, std::uint32_t table,
+                         std::uint64_t machine, const std::uint8_t* key,
+                         std::uint32_t key_size) {
+  append_u32(out, table);
+  append_u64(out, machine);
+  append_u32(out, key_size);
+  append_bytes(out, key, key_size);
+}
+
+ReadRequest decode_read_request(const std::uint8_t* payload,
+                                std::size_t size) {
+  WireCursor c(payload, size);
+  ReadRequest r;
+  r.table = c.u32();
+  r.machine = c.u64();
+  r.key_size = c.u32();
+  r.key = c.bytes(r.key_size);
+  c.expect_exhausted("read request");
+  return r;
+}
+
+void append_read_reply(std::vector<std::uint8_t>* out, bool found,
+                       const std::uint8_t* value, std::uint32_t value_size) {
+  append_u32(out, found ? 1 : 0);
+  append_u32(out, value_size);
+  append_bytes(out, value, value_size);
+}
+
+ReadReply decode_read_reply(const std::uint8_t* payload, std::size_t size) {
+  WireCursor c(payload, size);
+  ReadReply r;
+  r.found = c.u32() != 0;
+  r.value_size = c.u32();
+  r.value = c.bytes(r.value_size);
+  c.expect_exhausted("read reply");
+  return r;
+}
+
+}  // namespace ampccut::transport

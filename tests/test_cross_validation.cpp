@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 
 #include "ampc_algo/kcut_ampc.h"
 #include "ampc_algo/mincut_ampc.h"
@@ -227,6 +228,88 @@ TEST(CrossValidation, KernelizedKCutAgreesOnAllBackends) {
         << "mpc k-cut, case " << i;
     EXPECT_EQ(k_cut_weight(g, mon.result.part), mon.result.weight)
         << "case " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport differential layer (DESIGN.md "Transport layer & multi-process
+// execution"): the e1 min-cut and e4 k-cut reports — results AND model
+// accounting — must be bit-identical between the in-process transport and
+// the forked shared-memory transport at 1, 2 and 4 worker processes, with
+// the kernel front-end both off and on. This is the experiment-level form of
+// the transport invariant: the numbers the benches publish cannot depend on
+// how rounds were executed.
+
+void expect_mincut_reports_equal(const ampc::AmpcMinCutReport& a,
+                                 const ampc::AmpcMinCutReport& b,
+                                 const std::string& what) {
+  EXPECT_EQ(a.weight, b.weight) << what;
+  EXPECT_EQ(a.side, b.side) << what;
+  EXPECT_EQ(a.stats, b.stats) << what;
+  EXPECT_EQ(a.measured_rounds, b.measured_rounds) << what;
+  EXPECT_EQ(a.charged_rounds, b.charged_rounds) << what;
+  EXPECT_EQ(a.levels_used, b.levels_used) << what;
+  EXPECT_EQ(a.dht_reads, b.dht_reads) << what;
+  EXPECT_EQ(a.dht_writes, b.dht_writes) << what;
+  EXPECT_EQ(a.max_machine_traffic, b.max_machine_traffic) << what;
+  EXPECT_EQ(a.peak_table_words, b.peak_table_words) << what;
+  EXPECT_EQ(a.budget_violations, b.budget_violations) << what;
+}
+
+TEST(CrossValidation, MinCutReportBitIdenticalAcrossTransports) {
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const WGraph g = kernel_zoo_case(i * 5 + 2);
+    for (const bool kernel_on : {false, true}) {
+      ampc::AmpcMinCutOptions opt;
+      opt.recursion.seed = i;
+      opt.recursion.trials = 4;
+      opt.recursion.local_threshold = 4;
+      opt.recursion.threads = 1;
+      if (kernel_on) opt.recursion.kernel = kernel::enabled_defaults();
+      const auto local = ampc::ampc_approx_min_cut(g, opt);
+      EXPECT_EQ(local.weight, stoer_wagner_min_cut(g).weight)
+          << "case " << i << " kernel " << kernel_on;
+      opt.transport = transport::TransportKind::kShm;
+      for (const std::uint32_t procs : {1u, 2u, 4u}) {
+        opt.num_processes = procs;
+        const auto shm = ampc::ampc_approx_min_cut(g, opt);
+        expect_mincut_reports_equal(
+            shm, local,
+            "case " + std::to_string(i) + " kernel " +
+                std::to_string(kernel_on) + " procs " + std::to_string(procs));
+      }
+    }
+  }
+}
+
+TEST(CrossValidation, KCutReportBitIdenticalAcrossTransports) {
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    // Connected cases only (see KernelizedKCutAgreesOnAllBackends).
+    const WGraph g = kernel_zoo_case((i % 3 == 2) ? 3 * i + 1 : 3 * i);
+    const auto k = static_cast<std::uint32_t>(2 + i % 2);
+    for (const bool kernel_on : {false, true}) {
+      ampc::AmpcMinCutOptions opt;
+      opt.recursion.seed = i;
+      opt.recursion.trials = 4;
+      opt.recursion.local_threshold = 4;
+      opt.recursion.threads = 1;
+      if (kernel_on) opt.recursion.kernel = kernel::enabled_defaults();
+      const ampc::AmpcKCutReport local = ampc::ampc_apx_split_k_cut(g, k, opt);
+      opt.transport = transport::TransportKind::kShm;
+      for (const std::uint32_t procs : {1u, 2u, 4u}) {
+        opt.num_processes = procs;
+        const ampc::AmpcKCutReport shm = ampc::ampc_apx_split_k_cut(g, k, opt);
+        const std::string what = "case " + std::to_string(i) + " kernel " +
+                                 std::to_string(kernel_on) + " procs " +
+                                 std::to_string(procs);
+        EXPECT_EQ(shm.result.weight, local.result.weight) << what;
+        EXPECT_EQ(shm.result.part, local.result.part) << what;
+        EXPECT_EQ(shm.result.num_parts, local.result.num_parts) << what;
+        EXPECT_EQ(shm.measured_rounds, local.measured_rounds) << what;
+        EXPECT_EQ(shm.charged_rounds, local.charged_rounds) << what;
+        EXPECT_EQ(k_cut_weight(g, shm.result.part), shm.result.weight) << what;
+      }
+    }
   }
 }
 
