@@ -1,12 +1,13 @@
-// Network reliability scenario: weighted min cut as a bottleneck detector.
-// Link weights encode capacity; the global min cut is the cheapest set of
-// links whose failure partitions the backbone — exactly weighted Min Cut,
-// which the paper's algorithm approximates within 2+eps.
+// Network reliability as a SERVED scenario: link weights encode capacity,
+// and a CutServer answers "what is the bottleneck between these two
+// routers?" in O(tree path) per pair off one Gomory–Hu snapshot — the
+// all-pairs structure one precomputation buys. The batch path fans the pair
+// list over the thread pool, and re-asking the same pairs is answered from
+// the sharded LRU cache (watch the hit counters).
 #include <cstdio>
 
-#include "exact/stoer_wagner.h"
 #include "graph/generators.h"
-#include "mincut/mincut_recursive.h"
+#include "serve/scenarios.h"
 
 int main() {
   using namespace ampccut;
@@ -26,27 +27,38 @@ int main() {
   std::printf("backbone: n=%u m=%zu, remote region attached by capacity "
               "2+3 uplinks\n", g.n, g.m());
 
-  ApproxMinCutOptions opt;
-  opt.seed = 21;
-  opt.trials = 3;
-  const auto cut = approx_min_cut(g, opt);
-  const auto exact = stoer_wagner_min_cut(g);
+  serve::CutServer server(g);
 
-  std::printf("weakest cut capacity  : %llu (exact %llu)\n",
-              static_cast<unsigned long long>(cut.weight),
-              static_cast<unsigned long long>(exact.weight));
-  std::size_t remote_side = 0;
-  for (VertexId v = core; v < g.n; ++v) remote_side += cut.side[v];
-  const bool isolates_remote = remote_side == 16 || remote_side == 0;
-  std::printf("cut isolates remote?  : %s (uplinks are the bottleneck)\n",
-              isolates_remote ? "yes" : "no");
-  std::printf("links to reinforce    : every edge crossing the returned "
-              "side bitmap\n");
-  for (const auto& e : g.edges) {
-    if (cut.side[e.u] != cut.side[e.v]) {
-      std::printf("  link %u-%u (capacity %llu)\n", e.u, e.v,
-                  static_cast<unsigned long long>(e.w));
-    }
+  // The NOC's standing question list: core-to-remote bottlenecks plus a few
+  // intra-core sanity pairs.
+  std::vector<serve::QueryPair> pairs = {
+      {0, core}, {13, core + 8}, {5, core + 4}, {70, core + 12},
+      {0, 143},  {12, 131},      {40, 103},
+  };
+  const auto report = serve::serve_network_reliability(server, pairs);
+
+  std::printf("served epoch          : %llu\n",
+              static_cast<unsigned long long>(report.epoch));
+  std::printf("pair bottlenecks (batch, one snapshot):\n");
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::printf("  %3u <-> %3u : capacity %llu\n", pairs[i].s, pairs[i].t,
+                static_cast<unsigned long long>(report.pair_capacity[i]));
   }
+  std::printf("weakest cut capacity  : %llu\n",
+              static_cast<unsigned long long>(report.weakest.weight));
+  std::printf("links to reinforce    : every edge crossing the weakest cut\n");
+  for (const auto& e : report.weakest_links) {
+    std::printf("  link %u-%u (capacity %llu)\n", e.u, e.v,
+                static_cast<unsigned long long>(e.w));
+  }
+
+  // The same dashboard refreshes: the second batch is all cache hits.
+  (void)serve::serve_network_reliability(server, pairs);
+  const auto stats = server.stats();
+  std::printf("cache after refresh   : %llu hits / %llu misses "
+              "(%llu answers served)\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.batch_queries));
   return 0;
 }

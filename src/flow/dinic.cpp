@@ -43,8 +43,12 @@ Weight Dinic::dfs(VertexId v, VertexId t, Weight pushed) {
     if (a.cap == 0 || level_[a.to] != level_[v] + 1) continue;
     const Weight got = dfs(a.to, t, std::min(pushed, a.cap));
     if (got > 0) {
-      a.cap -= got;
-      adj_[a.to][a.rev].cap += got;
+      // Infinite arcs are immutable (header comment): inf - got == inf, and
+      // their reverse is the other half of an infinite undirected pair, so
+      // neither side moves and the pair stays rebalance-exempt.
+      if (a.cap != kInfiniteWeight) a.cap -= got;
+      Arc& r = adj_[a.to][a.rev];
+      if (r.cap != kInfiniteWeight) r.cap = sat_add(r.cap, got);
       touched_.push_back({v, i});
       return got;
     }
@@ -56,10 +60,13 @@ Weight Dinic::max_flow(VertexId s, VertexId t) {
   REPRO_CHECK(s < n_ && t < n_ && s != t);
   // Restore capacities from the previous run: for an undirected pair the
   // invariant cap_fwd + cap_rev == 2w lets us rebalance to w/w exactly.
+  // Infinite pairs were never mutated, so they are skipped (their "total"
+  // would wrap, and there is nothing to restore).
   if (last_source_ != kInvalidVertex) {
     for (VertexId v = 0; v < n_; ++v) {
       for (Arc& a : adj_[v]) {
         if (a.to > v) continue;  // visit each pair once (from higher id)
+        if (a.cap == kInfiniteWeight) continue;
         Arc& r = adj_[a.to][a.rev];
         const Weight total = a.cap + r.cap;
         a.cap = total / 2;
@@ -69,13 +76,21 @@ Weight Dinic::max_flow(VertexId s, VertexId t) {
   }
   touched_.clear();
   last_source_ = s;
+  saturated_ = false;
   Weight flow = 0;
   while (bfs(s, t)) {
     std::fill(iter_.begin(), iter_.end(), 0);
     for (;;) {
       const Weight got = dfs(s, t, kInfiniteWeight);
       if (got == 0) break;
-      flow += got;
+      flow = sat_add(flow, got);
+      // Ceiling reached: an all-infinite augmenting path (or a saturating sum
+      // of finite ones) pins the answer at kInfiniteWeight, and the intact
+      // infinite path would keep yielding forever — stop here.
+      if (flow == kInfiniteWeight) {
+        saturated_ = true;
+        return flow;
+      }
     }
   }
   return flow;
@@ -84,8 +99,11 @@ Weight Dinic::max_flow(VertexId s, VertexId t) {
 std::vector<std::uint8_t> Dinic::min_cut_side() const {
   REPRO_CHECK_MSG(last_source_ != kInvalidVertex, "run max_flow first");
   std::vector<std::uint8_t> side(n_, 0);
-  std::queue<VertexId> q;
   side[last_source_] = 1;
+  // Saturated run: the residual graph still reaches t (header comment), so
+  // the only certifiable minimum cut is the singleton source side.
+  if (saturated_) return side;
+  std::queue<VertexId> q;
   q.push(last_source_);
   while (!q.empty()) {
     const VertexId v = q.front();

@@ -1,6 +1,14 @@
 // Dinic max-flow on undirected capacitated graphs.
 //
-// Substrate for the Gomory–Hu tree (Definition 8) used by the k-cut analysis.
+// Substrate for the Gomory–Hu tree (Definition 8) used by the k-cut analysis
+// and the serving tier's snapshots.
+//
+// Weight-domain semantics (graph/types.h): kInfiniteWeight capacities are a
+// sticky ceiling, not a 2^64-1 integer — arcs carrying it never gain or lose
+// capacity, and flow accumulates with sat_add, so a source-to-sink path of
+// infinite edges yields max_flow == kInfiniteWeight instead of wrapping.
+// Finite capacities are expected below 2^62 (the arc-pair rebalancing
+// invariant cap_fwd + cap_rev == 2w must not wrap either).
 #pragma once
 
 #include <vector>
@@ -17,17 +25,21 @@ class Dinic {
   void add_undirected_edge(VertexId u, VertexId v, Weight w);
 
   // Computes the s-t max flow. Resets previous flow first, so the solver is
-  // reusable across (s, t) pairs on the same capacities.
+  // reusable across (s, t) pairs on the same capacities — including after a
+  // saturated (kInfiniteWeight) run, whose infinite arcs were never mutated.
   Weight max_flow(VertexId s, VertexId t);
 
   // After max_flow: vertices reachable from s in the residual graph
-  // (the s-side of a minimum s-t cut).
+  // (the s-side of a minimum s-t cut). After a saturated run the residual
+  // graph still reaches t through the intact infinite path, so the side
+  // degrades to {s} alone — a valid minimum cut, since wdeg(s) saturates to
+  // kInfiniteWeight exactly when an all-infinite s-t path exists.
   [[nodiscard]] std::vector<std::uint8_t> min_cut_side() const;
 
  private:
   struct Arc {
     VertexId to;
-    Weight cap;   // remaining capacity
+    Weight cap;   // remaining capacity; kInfiniteWeight is immutable
     std::size_t rev;  // index of the reverse arc in adj_[to]
   };
 
@@ -40,6 +52,7 @@ class Dinic {
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
   VertexId last_source_ = kInvalidVertex;
+  bool saturated_ = false;  // last run hit the kInfiniteWeight ceiling
 };
 
 // Convenience: s-t min cut value on a WGraph.

@@ -6,12 +6,18 @@
 #include "flow/dinic.h"
 #include "graph/union_find.h"
 #include "support/check.h"
+#include "support/errors.h"
 #include "support/psort.h"
 
 namespace ampccut {
 
 Weight GomoryHuTree::min_cut(VertexId s, VertexId t) const {
-  REPRO_CHECK(s != t && s < parent.size() && t < parent.size());
+  if (s >= parent.size() || t >= parent.size()) {
+    throw InvalidQueryError("vertex out of range (n = " +
+                                std::to_string(parent.size()) + ")",
+                            s, t);
+  }
+  if (s == t) throw InvalidQueryError("s == t has no separating cut", s, t);
   // Walk both vertices to the root, recording path minima. Depths are not
   // stored, so climb by marking: collect s's ancestry then walk t upward
   // until it meets a marked vertex (at worst the root).
@@ -38,8 +44,12 @@ Weight GomoryHuTree::min_cut(VertexId s, VertexId t) const {
 }
 
 GomoryHuTree build_gomory_hu(const WGraph& g) {
-  REPRO_CHECK(g.n >= 2);
-  REPRO_CHECK_MSG(is_connected(g), "Gomory-Hu requires a connected graph");
+  return build_gomory_hu(g, GomoryHuStepHook{});
+}
+
+GomoryHuTree build_gomory_hu(const WGraph& g,
+                             const GomoryHuStepHook& step_hook) {
+  REPRO_CHECK_MSG(g.n >= 1, "Gomory-Hu needs at least one vertex");
   GomoryHuTree tree;
   tree.parent.assign(g.n, 0);
   tree.parent.at(0) = kInvalidVertex;
@@ -50,8 +60,12 @@ GomoryHuTree build_gomory_hu(const WGraph& g) {
 
   // Gusfield: all flows run on the ORIGINAL graph; the tree is rewired based
   // on which side of the cut the current parent falls (Gusfield 1990,
-  // "Very simple methods for all pairs network flow analysis").
+  // "Very simple methods for all pairs network flow analysis"). A
+  // disconnected graph needs no special case: a cross-component pair has
+  // flow 0 and a side covering i's whole component, which leaves the
+  // 0-weight tree edge exactly where the path-minimum query needs it.
   for (VertexId i = 1; i < g.n; ++i) {
+    if (step_hook) step_hook(i);
     const VertexId p = tree.parent[i];
     const Weight f = dinic.max_flow(i, p);
     const auto side = dinic.min_cut_side();  // 1 == i's side
@@ -72,8 +86,14 @@ GomoryHuTree build_gomory_hu(const WGraph& g) {
 }
 
 GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k) {
-  REPRO_CHECK(k >= 1 && k <= g.n);
   const GomoryHuTree tree = build_gomory_hu(g);
+  return gomory_hu_k_cut_from_tree(tree, g, k, &ThreadPool::shared());
+}
+
+GHKCut gomory_hu_k_cut_from_tree(const GomoryHuTree& tree, const WGraph& g,
+                                 std::uint32_t k, ThreadPool* pool) {
+  REPRO_CHECK(k >= 1 && k <= g.n);
+  REPRO_CHECK_MSG(tree.parent.size() == g.n, "tree does not match graph");
   // Sort the n-1 tree edges by cut weight ascending; removing the k-1
   // lightest splits the tree into k parts (each removal adds exactly one
   // component since tree edges are independent).
@@ -82,14 +102,11 @@ GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k) {
   // (weight, id): equal cut weights are common (unweighted graphs), and
   // without the id tie-break the removed edge set — and hence the partition —
   // depended on the sort implementation's handling of ties.
-  psort::stable_sort_keys(&ThreadPool::shared(), order,
-                          [&](VertexId a, VertexId b) {
-                            return tree.parent_cut_weight[a] !=
-                                           tree.parent_cut_weight[b]
-                                       ? tree.parent_cut_weight[a] <
-                                             tree.parent_cut_weight[b]
-                                       : a < b;
-                          });
+  psort::stable_sort_keys(pool, order, [&](VertexId a, VertexId b) {
+    return tree.parent_cut_weight[a] != tree.parent_cut_weight[b]
+               ? tree.parent_cut_weight[a] < tree.parent_cut_weight[b]
+               : a < b;
+  });
   std::vector<std::uint8_t> removed(g.n, 0);
   for (std::uint32_t i = 0; i + 1 < k; ++i) removed[order[i]] = 1;
 
@@ -107,7 +124,9 @@ GHKCut gomory_hu_k_cut(const WGraph& g, std::uint32_t k) {
     out.part[v] = label[r];
   }
   for (const auto& e : g.edges) {
-    if (out.part[e.u] != out.part[e.v]) out.weight += e.w;
+    // Saturating: a partition can cut kInfiniteWeight edges, and the summed
+    // price must clamp at the ceiling rather than wrap (graph/types.h).
+    if (out.part[e.u] != out.part[e.v]) out.weight = sat_add(out.weight, e.w);
   }
   return out;
 }

@@ -15,8 +15,8 @@ Weight WGraph::total_weight() const {
 std::vector<Weight> WGraph::weighted_degrees() const {
   std::vector<Weight> deg(n, 0);
   for (const auto& e : edges) {
-    deg[e.u] += e.w;
-    deg[e.v] += e.w;
+    deg[e.u] = sat_add(deg[e.u], e.w);
+    deg[e.v] = sat_add(deg[e.v], e.w);
   }
   return deg;
 }
@@ -71,9 +71,11 @@ bool is_connected(const WGraph& g) {
 
 Weight cut_weight(const WGraph& g, const std::vector<std::uint8_t>& side) {
   REPRO_CHECK(side.size() == g.n);
+  // Saturating: cuts through kInfiniteWeight edges clamp at the ceiling
+  // instead of wrapping (graph/types.h), matching Dinic's flow accounting.
   Weight total = 0;
   for (const auto& e : g.edges) {
-    if (side[e.u] != side[e.v]) total += e.w;
+    if (side[e.u] != side[e.v]) total = sat_add(total, e.w);
   }
   return total;
 }

@@ -20,4 +20,13 @@ inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 inline constexpr Weight kInfiniteWeight = static_cast<Weight>(-1);
 
+// Saturating addition on the Weight domain: kInfiniteWeight is a sticky
+// ceiling, so sums that would wrap (flows across kInfiniteWeight edges, cut
+// weights involving them) clamp there instead of silently overflowing.
+// Finite weights are expected to stay below 2^62 so that no realistic sum of
+// finite terms reaches the ceiling by accident.
+[[nodiscard]] inline constexpr Weight sat_add(Weight a, Weight b) {
+  return a > kInfiniteWeight - b ? kInfiniteWeight : a + b;
+}
+
 }  // namespace ampccut

@@ -1,0 +1,85 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace ampccut::serve {
+
+AnswerCache::Key AnswerCache::make_key(std::uint64_t epoch, VertexId s,
+                                       VertexId t) {
+  const VertexId lo = std::min(s, t);
+  const VertexId hi = std::max(s, t);
+  return Key{epoch,
+             (static_cast<std::uint64_t>(lo) << 32U) |
+                 static_cast<std::uint64_t>(hi)};
+}
+
+std::size_t AnswerCache::KeyHash::operator()(const Key& k) const {
+  // splitmix64 chain (support/rng.h): the repo's one sanctioned hash mixer.
+  return static_cast<std::size_t>(splitmix64(k.pair ^ splitmix64(k.epoch)));
+}
+
+AnswerCache::AnswerCache(std::uint32_t shards, std::size_t capacity)
+    : capacity_(capacity) {
+  const std::uint32_t count = std::max<std::uint32_t>(1, shards);
+  if (capacity_ == 0) return;  // disabled: no shards to maintain
+  shard_capacity_ = std::max<std::size_t>(1, capacity_ / count);
+  shards_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AnswerCache::Shard& AnswerCache::shard_of(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool AnswerCache::lookup(const Key& key, Weight* out) {
+  if (!enabled()) return false;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    s.stats.misses++;
+    return false;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh to MRU
+  s.stats.hits++;
+  *out = it->second->value;
+  return true;
+}
+
+void AnswerCache::insert(const Key& key, Weight value) {
+  if (!enabled()) return;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Racing double-insert for the same (epoch, pair): same value (header
+    // comment), just refresh recency.
+    it->second->value = value;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= shard_capacity_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+    s.stats.evictions++;
+  }
+  s.lru.push_front(Entry{key, value});
+  s.index.emplace(key, s.lru.begin());
+}
+
+CacheStats AnswerCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace ampccut::serve

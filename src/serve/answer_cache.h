@@ -1,0 +1,93 @@
+// Sharded LRU answer cache for served s-t min-cut queries (DESIGN.md
+// "Cut-query serving tier").
+//
+// Keying discipline: the key is (epoch, normalized pair). Because the epoch
+// of the snapshot that produced an answer is part of the key, a snapshot
+// swap needs no cache flush and no reader/writer coordination — entries for
+// a retired epoch can never satisfy a lookup for the new one and simply age
+// out through LRU eviction. Queries are symmetric, so pairs are normalized
+// (min, max) before keying and (s, t) / (t, s) share one entry.
+//
+// Sharding: a splitmix64 hash of the key picks one of `shards` independent
+// LRU lists, each behind its own mutex, so concurrent readers on different
+// shards never contend. Counters are plain integers guarded by the shard
+// mutex and summed on read. The cache never iterates its hash maps —
+// unordered containers appear only for point lookups (repro_lint's
+// iteration-order invariant).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ampccut::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+class AnswerCache {
+ public:
+  struct Key {
+    std::uint64_t epoch = 0;
+    std::uint64_t pair = 0;  // (min(s,t) << 32) | max(s,t)
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  static Key make_key(std::uint64_t epoch, VertexId s, VertexId t);
+
+  // `capacity` is the total entry budget, split evenly across shards (each
+  // shard receives at least one slot); capacity == 0 disables the cache:
+  // lookups miss without counting and inserts are dropped, so a cache-off
+  // server reports all-zero cache stats. `shards` is clamped to >= 1.
+  AnswerCache(std::uint32_t shards, std::size_t capacity);
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  // True on hit, with the cached answer in *out and the entry refreshed to
+  // most-recently-used. Counts one hit or one miss when enabled.
+  bool lookup(const Key& key, Weight* out);
+
+  // Inserts (or refreshes) key -> value, evicting the shard's LRU entry when
+  // the shard is at capacity. Values are derived purely from the keyed
+  // snapshot, so a racing double-insert writes the same value twice.
+  void insert(const Key& key, Weight value);
+
+  // Counters summed over shards. Concurrent use keeps the per-shard counts
+  // exact (they are bumped under the shard mutex); hits + misses equals the
+  // number of enabled lookups.
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    Weight value;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front == most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    CacheStats stats;  // guarded by mu
+  };
+
+  Shard& shard_of(const Key& key);
+
+  std::size_t capacity_ = 0;        // total, informational
+  std::size_t shard_capacity_ = 0;  // per shard, >= 1 when enabled
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ampccut::serve

@@ -1,0 +1,53 @@
+#include "serve/scenarios.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ampccut::serve {
+
+CommunityCutReport serve_community_cut(CutServer& server,
+                                       ampc::AmpcMinCutOptions opt) {
+  const SnapshotPtr snap = server.snapshot();
+  CommunityCutReport report;
+  report.epoch = snap->epoch();
+  report.cut = snap->global_min_cut();
+  // The cross-check runs on the SNAPSHOT's graph (not whatever update_graph
+  // may have accepted since) and leases its runtimes from the server arena.
+  opt.arena = &server.arena();
+  report.ampc = ampc::ampc_approx_min_cut(snap->graph(), opt);
+  return report;
+}
+
+ReliabilityReport serve_network_reliability(
+    CutServer& server, const std::vector<QueryPair>& pairs) {
+  // Pin ONE snapshot for the whole report: batch answers, the weakest cut,
+  // and the crossing-link listing all describe the same epoch, even if
+  // update_graph swaps a new one in mid-report.
+  const SnapshotPtr snap = server.snapshot();
+  ReliabilityReport report;
+  report.epoch = snap->epoch();
+  report.pair_capacity = server.query_batch_on(snap, pairs);
+  report.weakest = snap->global_min_cut();
+  if (!report.weakest.side.empty()) {
+    for (const auto& e : snap->graph().edges) {
+      if (report.weakest.side[e.u] != report.weakest.side[e.v]) {
+        report.weakest_links.push_back(e);
+      }
+    }
+  }
+  return report;
+}
+
+KCutReport serve_kcut_partition(CutServer& server, std::uint32_t k) {
+  const SnapshotPtr snap = server.snapshot();
+  KCutReport report;
+  report.epoch = snap->epoch();
+  report.cut = snap->k_cut(k);
+  std::uint32_t parts = 0;
+  for (const auto p : report.cut.part) parts = std::max(parts, p + 1);
+  report.part_sizes.assign(parts, 0);
+  for (const auto p : report.cut.part) report.part_sizes[p]++;
+  return report;
+}
+
+}  // namespace ampccut::serve

@@ -1,0 +1,108 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/errors.h"
+
+namespace ampccut::serve {
+
+Snapshot::Snapshot(WGraph graph, GomoryHuTree tree, std::uint64_t epoch,
+                   SnapshotStats stats, ThreadPool* pool)
+    : graph_(std::move(graph)),
+      tree_(std::move(tree)),
+      epoch_(epoch),
+      stats_(stats),
+      pool_(pool) {
+  const VertexId n = graph_.n;
+  REPRO_CHECK_MSG(tree_.parent.size() == n &&
+                      tree_.parent_cut_weight.size() == n,
+                  "tree does not match graph");
+  if (n == 0) return;
+
+  // Children CSR of the tree (counting sort by parent — two sequential
+  // passes; no comparator, so no tie-break question arises).
+  child_offset_.assign(n + 1, 0);
+  for (VertexId v = 1; v < n; ++v) child_offset_[tree_.parent[v] + 1]++;
+  for (VertexId v = 0; v < n; ++v) child_offset_[v + 1] += child_offset_[v];
+  child_.assign(n > 0 ? n - 1 : 0, kInvalidVertex);
+  {
+    std::vector<std::uint32_t> next(child_offset_.begin(),
+                                    child_offset_.end() - 1);
+    for (VertexId v = 1; v < n; ++v) child_[next[tree_.parent[v]]++] = v;
+  }
+
+  // Depths by a root-down walk over the CSR (children always appear after
+  // their parent in the BFS order, so one queue-free pass suffices).
+  depth_.assign(n, 0);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  order.push_back(0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const VertexId v = order[head];
+    for (std::uint32_t i = child_offset_[v]; i < child_offset_[v + 1]; ++i) {
+      const VertexId c = child_[i];
+      depth_[c] = depth_[v] + 1;
+      order.push_back(c);
+    }
+  }
+  REPRO_CHECK_MSG(order.size() == n, "tree is not connected to the root");
+
+  // Lightest tree edge; smallest child id wins ties so the published global
+  // cut is independent of construction order.
+  for (VertexId v = 1; v < n; ++v) {
+    if (min_cut_child_ == kInvalidVertex ||
+        tree_.parent_cut_weight[v] < tree_.parent_cut_weight[min_cut_child_]) {
+      min_cut_child_ = v;
+    }
+  }
+}
+
+Weight Snapshot::query(VertexId s, VertexId t) const {
+  const VertexId n = graph_.n;
+  if (s >= n || t >= n) {
+    throw InvalidQueryError(
+        "vertex out of range (n = " + std::to_string(n) + ")", s, t);
+  }
+  if (s == t) throw InvalidQueryError("s == t has no separating cut", s, t);
+  // Classic LCA climb: lift the deeper endpoint first, then both in lock
+  // step; every traversed tree edge folds into the running minimum. O(tree
+  // path), no allocation — this is the serving hot path.
+  VertexId a = s;
+  VertexId b = t;
+  Weight best = kInfiniteWeight;
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      best = std::min(best, tree_.parent_cut_weight[a]);
+      a = tree_.parent[a];
+    } else {
+      best = std::min(best, tree_.parent_cut_weight[b]);
+      b = tree_.parent[b];
+    }
+  }
+  return best;
+}
+
+MinCutResult Snapshot::global_min_cut() const {
+  MinCutResult out;
+  if (min_cut_child_ == kInvalidVertex) return out;  // n < 2: no cut exists
+  out.weight = tree_.parent_cut_weight[min_cut_child_];
+  out.side.assign(graph_.n, 0);
+  // One side is the subtree hanging off the lightest edge's child.
+  std::vector<VertexId> stack = {min_cut_child_};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    out.side[v] = 1;
+    for (std::uint32_t i = child_offset_[v]; i < child_offset_[v + 1]; ++i) {
+      stack.push_back(child_[i]);
+    }
+  }
+  return out;
+}
+
+GHKCut Snapshot::k_cut(std::uint32_t k) const {
+  return gomory_hu_k_cut_from_tree(tree_, graph_, k, pool_);
+}
+
+}  // namespace ampccut::serve

@@ -93,6 +93,28 @@ class RetriesExhaustedError : public Error {
   std::uint32_t attempts_;
 };
 
+// A cut query that cannot be answered: an endpoint outside the structure's
+// vertex range, or s == t (no separating cut exists). Thrown by
+// GomoryHuTree::min_cut and the serving tier (src/serve/) instead of a
+// REPRO_CHECK abort: query arguments arrive from callers outside the library
+// (ultimately from users of a serving deployment), so a bad pair is a runtime
+// condition to report, not a programming-invariant violation.
+class InvalidQueryError : public Error {
+ public:
+  InvalidQueryError(const std::string& what, std::uint64_t s, std::uint64_t t)
+      : Error("invalid cut query (" + std::to_string(s) + ", " +
+              std::to_string(t) + "): " + what),
+        s_(s),
+        t_(t) {}
+
+  [[nodiscard]] std::uint64_t s() const { return s_; }
+  [[nodiscard]] std::uint64_t t() const { return t_; }
+
+ private:
+  std::uint64_t s_;
+  std::uint64_t t_;
+};
+
 // Malformed or unreadable graph input (graph/io.h). Distinct from the
 // logic_error that Graph::add_edge raises for range/self-loop violations:
 // bad bytes on disk are a runtime condition, not a caller bug.

@@ -15,9 +15,11 @@
 #include "ampc_algo/mincut_ampc.h"
 #include "ampc_algo/singleton_ampc.h"
 #include "exact/karger.h"
+#include "flow/gomory_hu.h"
 #include "graph/generators.h"
 #include "kernel/kernel.h"
 #include "mincut/contraction.h"
+#include "serve/cut_server.h"
 #include "support/psort.h"
 #include "support/threadpool.h"
 
@@ -200,6 +202,62 @@ TEST(Determinism, KernelOutputBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(kr.stats, ref.stats)
           << "graph " << gi << " threads " << threads;
     }
+  }
+}
+
+// The serving tier publishes Gomory–Hu snapshots whose answers must not
+// depend on the pool that built them: Gusfield's loop is sequential by
+// construction and the kernel merge rides psort, so the tree — parents AND
+// cut weights — is bit-identical at every thread count, whether built
+// directly or through a CutServer (kernel merge on). The digest is pinned
+// like the contraction corpus above: an intentional tie-break change must
+// re-pin it in the PR, not drift silently.
+std::uint64_t fnv1a_tree(const GomoryHuTree& t) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (std::size_t v = 0; v < t.parent.size(); ++v) {
+    h = (h ^ t.parent[v]) * 1099511628211ULL;  // FNV prime
+    h = (h ^ t.parent_cut_weight[v]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(Determinism, GomoryHuTreeBitIdenticalAcrossThreadCounts) {
+  WGraph g = gen_random_connected(120, 360, 23);
+  randomize_weights(g, 7, 24);
+  for (std::size_t e = 0; e < 6; ++e) g.edges.push_back(g.edges[e]);
+
+  // The direct build on the raw multigraph.
+  const GomoryHuTree direct = build_gomory_hu(g);
+  const std::uint64_t direct_digest = fnv1a_tree(direct);
+  EXPECT_EQ(direct_digest, 0xa3f1368fea4c2723ULL)
+      << "Gomory-Hu tree changed. If intentional, re-pin to 0x" << std::hex
+      << direct_digest;
+
+  // Serve-built trees run the flows on the MERGED graph, so their shape may
+  // legitimately differ from `direct` — but across pool widths they must be
+  // bit-identical (Gusfield is sequential, the merge rides psort), and every
+  // answer must agree with the direct tree's.
+  std::uint64_t serve_digest = 0;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 0u}) {
+    ThreadPool owned(threads == 0 ? ThreadPool::shared().num_threads()
+                                  : threads);
+    serve::CutServerOptions opt;
+    opt.kernel = kernel::enabled_defaults();  // merge pass feeds the flows
+    opt.pool = &owned;
+    serve::CutServer server(g, opt);
+    const GomoryHuTree& tree = server.snapshot()->tree();
+    if (threads == 1) {
+      serve_digest = fnv1a_tree(tree);
+      EXPECT_EQ(serve_digest, 0xa3f1368fea4c2723ULL)
+          << "serve-built Gomory-Hu tree changed. If intentional, re-pin to 0x"
+          << std::hex << serve_digest;
+      for (VertexId s = 0; s < g.n; s += 7) {
+        for (VertexId t = s + 1; t < g.n; t += 5) {
+          EXPECT_EQ(tree.min_cut(s, t), direct.min_cut(s, t));
+        }
+      }
+    }
+    EXPECT_EQ(fnv1a_tree(tree), serve_digest) << "threads " << threads;
   }
 }
 

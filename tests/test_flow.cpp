@@ -5,6 +5,7 @@
 #include "flow/dinic.h"
 #include "flow/gomory_hu.h"
 #include "graph/generators.h"
+#include "support/errors.h"
 #include "support/rng.h"
 
 namespace ampccut {
@@ -144,6 +145,132 @@ TEST(GomoryHuKCut, EqualWeightTieBreakIsDeterministic) {
       EXPECT_EQ(got, expect) << "seed " << seed << " k=" << k;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hardening for the serving tier (src/serve/): the tree must survive the
+// inputs a server cannot refuse — disconnected graphs, trivial graphs,
+// kInfiniteWeight edges — and bad query pairs must surface as typed errors.
+
+TEST(GomoryHu, DisconnectedPairsAnswerZero) {
+  // Two blobs, no edges between them: Gusfield still yields one tree rooted
+  // at 0, with a 0-weight edge linking the components, so cross-component
+  // path minima are 0 — exactly the direct max-flow answer.
+  WGraph g = gen_erdos_renyi(6, 0.9, 4);
+  const VertexId base = g.n;
+  g.n += 5;
+  for (VertexId v = base; v + 1 < g.n; ++v) g.add_edge(v, v + 1, 3);
+  ASSERT_FALSE(is_connected(g));
+  const GomoryHuTree tree = build_gomory_hu(g);
+  for (VertexId s = 0; s < g.n; ++s) {
+    for (VertexId t = s + 1; t < g.n; ++t) {
+      EXPECT_EQ(tree.min_cut(s, t), st_min_cut(g, s, t))
+          << "pair " << s << "," << t;
+      if (s < base && t >= base) {
+        EXPECT_EQ(tree.min_cut(s, t), 0U);
+      }
+    }
+  }
+}
+
+TEST(GomoryHu, SingleAndTwoVertexGraphs) {
+  WGraph one;
+  one.n = 1;
+  const GomoryHuTree t1 = build_gomory_hu(one);
+  ASSERT_EQ(t1.parent.size(), 1U);
+  EXPECT_EQ(t1.parent[0], kInvalidVertex);
+
+  WGraph two;
+  two.n = 2;
+  two.add_edge(0, 1, 7);
+  const GomoryHuTree t2 = build_gomory_hu(two);
+  EXPECT_EQ(t2.min_cut(0, 1), 7U);
+  EXPECT_EQ(t2.min_cut(1, 0), 7U);
+
+  WGraph two_iso;  // two vertices, no edge: a disconnected pair
+  two_iso.n = 2;
+  EXPECT_EQ(build_gomory_hu(two_iso).min_cut(0, 1), 0U);
+}
+
+TEST(GomoryHu, OutOfRangeOrDegenerateQueryThrowsTyped) {
+  WGraph g;
+  g.n = 3;
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const GomoryHuTree tree = build_gomory_hu(g);
+  EXPECT_THROW((void)tree.min_cut(0, 3), InvalidQueryError);
+  EXPECT_THROW((void)tree.min_cut(99, 1), InvalidQueryError);
+  EXPECT_THROW((void)tree.min_cut(1, 1), InvalidQueryError);
+  // The taxonomy root catches it too (a server maps any Error to a 4xx).
+  try {
+    (void)tree.min_cut(0, 3);
+    FAIL() << "expected InvalidQueryError";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid cut query"),
+              std::string::npos);
+  }
+}
+
+TEST(Dinic, InfiniteCapacityPathSaturates) {
+  // A chain of kInfiniteWeight edges: the flow pins at the ceiling instead
+  // of wrapping, and re-running on the same solver still works (infinite
+  // arcs are never mutated, so there is nothing to restore).
+  WGraph g;
+  g.n = 3;
+  g.add_edge(0, 1, kInfiniteWeight);
+  g.add_edge(1, 2, kInfiniteWeight);
+  Dinic d(g.n);
+  for (const auto& e : g.edges) d.add_undirected_edge(e.u, e.v, e.w);
+  EXPECT_EQ(d.max_flow(0, 2), kInfiniteWeight);
+  EXPECT_EQ(d.max_flow(0, 2), kInfiniteWeight);
+  const auto side = d.min_cut_side();
+  EXPECT_EQ(side[0], 1);
+  EXPECT_EQ(side[2], 0);
+  // The degraded singleton side is still a minimum cut under saturating
+  // arithmetic: every separating cut crosses an infinite edge.
+  EXPECT_EQ(cut_weight(g, side), kInfiniteWeight);
+}
+
+TEST(Dinic, ParallelInfiniteEdgesDoNotWrap) {
+  WGraph g;  // two infinite parallel edges: 2 * kInfiniteWeight must clamp
+  g.n = 2;
+  g.add_edge(0, 1, kInfiniteWeight);
+  g.add_edge(0, 1, kInfiniteWeight);
+  EXPECT_EQ(st_min_cut(g, 0, 1), kInfiniteWeight);
+}
+
+TEST(Dinic, InfiniteEdgeOffThePathLeavesFiniteAnswerExact) {
+  // The infinite edge hangs off to the side; the s-t answer stays finite and
+  // exact, and the infinite edge still serves as transit at full strength.
+  WGraph g;
+  g.n = 4;
+  g.add_edge(0, 1, kInfiniteWeight);
+  g.add_edge(1, 2, 4);
+  g.add_edge(2, 3, kInfiniteWeight);
+  g.add_edge(0, 3, 3);
+  EXPECT_EQ(st_min_cut(g, 0, 3), 7U);
+  EXPECT_EQ(st_min_cut(g, 0, 2), 7U);
+  EXPECT_EQ(st_min_cut(g, 1, 2), 7U);
+}
+
+TEST(GomoryHu, InfiniteWeightEdgesServeExactly) {
+  // Mixed finite/infinite graph: every pair's tree answer equals the direct
+  // (saturating) max flow — including the kInfiniteWeight pairs.
+  WGraph g;
+  g.n = 5;
+  g.add_edge(0, 1, kInfiniteWeight);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 3, kInfiniteWeight);
+  g.add_edge(3, 4, 2);
+  g.add_edge(4, 0, 1);
+  const GomoryHuTree tree = build_gomory_hu(g);
+  for (VertexId s = 0; s < g.n; ++s) {
+    for (VertexId t = s + 1; t < g.n; ++t) {
+      EXPECT_EQ(tree.min_cut(s, t), st_min_cut(g, s, t))
+          << "pair " << s << "," << t;
+    }
+  }
+  EXPECT_EQ(tree.min_cut(0, 1), kInfiniteWeight);
 }
 
 }  // namespace

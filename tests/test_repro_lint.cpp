@@ -383,6 +383,25 @@ TEST(ReproLintTree, TransportLayerIsInScopeAndClean) {
   EXPECT_TRUE(r.allowed.empty()) << "transport layer should need no allowlist";
 }
 
+// The serving tier answers external queries off shared snapshots — its LRU
+// lists, shard hashing, and batch fan-out must all be free of hidden
+// nondeterminism (the batch-vs-sequential bit-identity contract in
+// tests/test_serve.cpp depends on it). Pin src/serve in-walk and clean with
+// zero allow directives.
+TEST(ReproLintTree, ServeLayerIsInScopeAndClean) {
+  Report r;
+  std::string err;
+  ASSERT_TRUE(scan_tree(AMPC_CUT_SOURCE_DIR, {"src/serve"}, r, &err)) << err;
+  // answer_cache, cut_server, scenarios, snapshot — each .h + .cpp.
+  EXPECT_GE(r.files_scanned, 8);
+  std::string diag;
+  for (const Finding& f : r.findings) {
+    diag += f.file + ':' + std::to_string(f.line) + ' ' + f.message + '\n';
+  }
+  EXPECT_TRUE(r.findings.empty()) << diag;
+  EXPECT_TRUE(r.allowed.empty()) << "serve layer should need no allowlist";
+}
+
 // The gate CI enforces: the real tree has zero non-allowlisted findings, and
 // the fixture directory is excluded from the walk.
 TEST(ReproLintTree, RealTreeHasZeroFindings) {

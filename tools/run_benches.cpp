@@ -68,6 +68,7 @@ const char* kBenches[] = {
     "bench_e7_one_vs_two_cycles",
     "bench_e8_mpc_kcut",
     "bench_a1_ablation",
+    "bench_serve_queries",
 };
 
 // Single-quote a path for the shell (embedded quotes become '\'').
